@@ -1,0 +1,7 @@
+// Figure 5: NEXMark Q1 latency timeline with two reconfigurations. Q1 is
+// stateless, so no latency spike should occur during migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(1, /*with_native=*/false, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 6: NEXMark Q2 latency timeline with two reconfigurations. Q2 is
+// stateless, so no latency spike should occur during migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(2, /*with_native=*/false, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 7: NEXMark Q3 (incremental join, unbounded state) — all-at-once
+// vs Megaphone batched migration, plus the native implementation panel.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(3, /*with_native=*/true, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 8: NEXMark Q4 (closing-price averages; bounded state held by the
+// fixed number of in-flight auctions) — all-at-once vs batched migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(4, /*with_native=*/false, argc, argv);
+}

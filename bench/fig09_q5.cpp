@@ -1,0 +1,7 @@
+// Figure 9: NEXMark Q5 (hot items, sliding window with dilated time) —
+// all-at-once vs batched migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(5, /*with_native=*/false, argc, argv);
+}

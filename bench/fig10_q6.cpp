@@ -1,0 +1,7 @@
+// Figure 10: NEXMark Q6 (per-seller closing-price averages; state grows
+// with the set of sellers) — all-at-once vs batched migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(6, /*with_native=*/false, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Figure 11: NEXMark Q7 (windowed global maximum; minimal state) — with
+// so little state, all-at-once and batched migration are indistinguishable.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(7, /*with_native=*/false, argc, argv);
+}

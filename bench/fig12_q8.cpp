@@ -1,0 +1,8 @@
+// Figure 12: NEXMark Q8 (tumbling-window person⋈seller join; the window is
+// dilated, standing in for the paper's twelve-hour window) — all-at-once
+// vs batched migration.
+#include "harness/nexmark_workload.hpp"
+
+int main(int argc, char** argv) {
+  return megaphone::NexmarkFigureMain(8, /*with_native=*/false, argc, argv);
+}

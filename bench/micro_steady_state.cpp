@@ -1,0 +1,182 @@
+// Google-benchmark micro suite: the per-record and per-migration costs
+// underlying the macro experiments, including the serialize-vs-move
+// ablation called out in DESIGN.md (state-channel serialization is what
+// makes migration cost scale with state size).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/serde.hpp"
+#include "harness/histogram.hpp"
+#include "megaphone/bin.hpp"
+#include "megaphone/control.hpp"
+#include "megaphone/strategies.hpp"
+#include "timely/antichain.hpp"
+#include "timely/channel.hpp"
+
+namespace {
+
+using namespace megaphone;
+
+void BM_HashMix64(benchmark::State& state) {
+  uint64_t x = 12345;
+  for (auto _ : state) {
+    x = HashMix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HashMix64);
+
+void BM_BinOf(benchmark::State& state) {
+  uint64_t x = 0;
+  const uint32_t bins = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BinOf(HashMix64(x++), bins));
+  }
+}
+BENCHMARK(BM_BinOf)->Arg(16)->Arg(4096)->Arg(1 << 20);
+
+// Routing-table lookup: the extra work every Megaphone record pays over a
+// native exchange (Figs. 13-15's overhead source).
+void BM_RoutingLookupClean(benchmark::State& state) {
+  RoutingTable<uint64_t> rt(static_cast<uint32_t>(state.range(0)), 4);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    BinId b = BinOf(HashMix64(k++), rt.num_bins());
+    benchmark::DoNotOptimize(rt.WorkerAt(100, b));
+  }
+}
+BENCHMARK(BM_RoutingLookupClean)->Arg(256)->Arg(4096)->Arg(1 << 16);
+
+void BM_RoutingLookupAfterMigrations(benchmark::State& state) {
+  const uint32_t bins = 4096;
+  RoutingTable<uint64_t> rt(bins, 4);
+  // Ten full reconfigurations of history per bin.
+  for (uint64_t v = 1; v <= 10; ++v) {
+    for (BinId b = 0; b < bins; ++b) rt.Apply(v * 10, b, (b + v) % 4);
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    BinId b = BinOf(HashMix64(k++), bins);
+    benchmark::DoNotOptimize(rt.WorkerAt(105, b));
+  }
+}
+BENCHMARK(BM_RoutingLookupAfterMigrations);
+
+void BM_RoutingCompact(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    RoutingTable<uint64_t> rt(4096, 4);
+    for (uint64_t v = 1; v <= 10; ++v) {
+      for (BinId b = 0; b < 4096; ++b) rt.Apply(v * 10, b, (b + v) % 4);
+    }
+    state.ResumeTiming();
+    rt.Compact(95);
+    benchmark::DoNotOptimize(rt.TotalVersions());
+  }
+}
+BENCHMARK(BM_RoutingCompact);
+
+// Serialize-vs-move ablation for a bin of N counters.
+using CountBin = Bin<std::vector<uint64_t>, uint64_t, uint64_t>;
+
+CountBin MakeBin(size_t n) {
+  CountBin b;
+  b.state.resize(n);
+  for (size_t i = 0; i < n; ++i) b.state[i] = i;
+  return b;
+}
+
+void BM_BinMigrateSerialize(benchmark::State& state) {
+  CountBin bin = MakeBin(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto bytes = EncodeToBytes(bin);
+    auto back = DecodeFromBytes<CountBin>(bytes);
+    benchmark::DoNotOptimize(back.state.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_BinMigrateSerialize)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BinMigrateMove(benchmark::State& state) {
+  CountBin bin = MakeBin(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    CountBin moved = std::move(bin);
+    benchmark::DoNotOptimize(moved.state.data());
+    bin = std::move(moved);  // restore for the next iteration
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_BinMigrateMove)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashBinSerialize(benchmark::State& state) {
+  Bin<std::unordered_map<uint64_t, uint64_t>, uint64_t, uint64_t> bin;
+  for (int64_t i = 0; i < state.range(0); ++i) bin.state[HashMix64(i)] = i;
+  for (auto _ : state) {
+    auto bytes = EncodeToBytes(bin);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_HashBinSerialize)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Add(v);
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    v >>= 32;
+  }
+  benchmark::DoNotOptimize(h.total());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_MutableAntichainUpdate(benchmark::State& state) {
+  timely::MutableAntichain<uint64_t> m;
+  uint64_t t = 0;
+  for (auto _ : state) {
+    m.Update(t, +1);
+    if (t >= 4) m.Update(t - 4, -1);
+    t++;
+  }
+  benchmark::DoNotOptimize(m.Empty());
+}
+BENCHMARK(BM_MutableAntichainUpdate);
+
+void BM_ChannelPushPull(benchmark::State& state) {
+  timely::Channel<uint64_t, uint64_t> chan(4);
+  timely::Bundle<uint64_t, uint64_t> bundle;
+  bundle.data.resize(1024, 7);
+  for (auto _ : state) {
+    timely::Bundle<uint64_t, uint64_t> b = bundle;
+    chan.Push(1, std::move(b));
+    timely::Bundle<uint64_t, uint64_t> out;
+    chan.Pull(1, out);
+    benchmark::DoNotOptimize(out.data.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ChannelPushPull);
+
+void BM_PlanOptimizedBatches(benchmark::State& state) {
+  const uint32_t bins = static_cast<uint32_t>(state.range(0));
+  auto from = MakeInitialAssignment(bins, 8);
+  Assignment to = from;
+  for (uint32_t b = 0; b < bins; ++b) to[b] = (from[b] + 1 + b % 3) % 8;
+  auto moves = DiffAssignments(from, to);
+  for (auto _ : state) {
+    auto batches =
+        PlanBatches(MigrationStrategy::kOptimized, moves, from, 0);
+    benchmark::DoNotOptimize(batches.size());
+  }
+}
+BENCHMARK(BM_PlanOptimizedBatches)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

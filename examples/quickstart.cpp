@@ -1,0 +1,105 @@
+// Quickstart: a migratable word-count (the paper's running example,
+// Listing 2), with a live migration mid-stream.
+//
+//   build/examples/quickstart
+//
+// Builds a 4-worker dataflow, counts words arriving on an input stream,
+// then — without pausing the computation — moves every bin from its
+// initial owner to the next worker and keeps counting. The counts are
+// unaffected; only the placement changes.
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "megaphone/megaphone.hpp"
+#include "timely/timely.hpp"
+
+using namespace megaphone;
+using Word = std::pair<std::string, int64_t>;  // (word, diff)
+
+int main() {
+  const uint32_t workers = 4;
+  const uint32_t num_bins = 16;
+  std::mutex mu;
+  std::map<std::string, int64_t> counts;
+  std::map<std::string, uint32_t> last_owner;
+
+  timely::Execute(timely::Config{workers}, [&](timely::Worker& w) {
+    // Build the dataflow: a control input for configuration updates and a
+    // text input of (word, diff) pairs feeding a migratable counting
+    // operator (paper Listing 2).
+    auto handles = w.Dataflow<uint64_t>([&](timely::Scope<uint64_t>& s) {
+      auto [ctrl_in, ctrl] = timely::NewInput<ControlInst>(s);
+      auto [text_in, text] = timely::NewInput<Word>(s);
+
+      Config cfg;
+      cfg.num_bins = num_bins;
+      cfg.name = "WordCount";
+      using BinState = std::unordered_map<std::string, int64_t>;
+      auto out = Unary<BinState, Word>(
+          ctrl, text, [](const Word& wd) { return HashBytes(wd.first); },
+          [](const uint64_t&, BinState& state, std::vector<Word>& words,
+             auto emit, auto&) {
+            for (auto& [word, diff] : words) {
+              state[word] += diff;
+              emit(Word{word, state[word]});
+            }
+          },
+          cfg);
+
+      uint32_t me = s.worker();
+      timely::Sink(out.stream, [&, me](const uint64_t&,
+                                       std::vector<Word>& data) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [word, count] : data) {
+          counts[word] = count;
+          last_owner[word] = me;
+        }
+      });
+      return std::make_tuple(ctrl_in, text_in, out.probe);
+    });
+    auto& [ctrl_in, text_in, probe] = handles;
+
+    // A controller per worker drives the control stream; only worker 0's
+    // instance actually emits configuration updates.
+    typename MigrationController<uint64_t>::Options opts;
+    opts.strategy = MigrationStrategy::kFluid;
+    MigrationController<uint64_t> controller(ctrl_in, probe, w.index(), opts);
+
+    const std::vector<std::string> words = {"stream", "state",   "migrate",
+                                            "frontier", "bin",   "worker",
+                                            "latency",  "probe"};
+    Assignment initial = MakeInitialAssignment(num_bins, workers);
+    Assignment rotated = initial;
+    for (auto& owner : rotated) owner = (owner + 1) % workers;
+
+    for (uint64_t epoch = 0; epoch < 60; ++epoch) {
+      if (epoch == 20 && w.index() == 0) {
+        std::printf("[epoch %2llu] starting fluid migration of %u bins\n",
+                    static_cast<unsigned long long>(epoch), num_bins);
+      }
+      if (epoch == 20) controller.MigrateTo(initial, rotated);
+      controller.Advance(epoch, epoch + 1);
+      // Every worker contributes a share of the words each epoch.
+      for (size_t i = w.index(); i < words.size(); i += workers) {
+        text_in->Send(Word{words[i], 1});
+      }
+      text_in->AdvanceTo(epoch + 1);
+      w.StepUntil([&] { return !probe.LessThan(epoch > 2 ? epoch - 2 : 0); });
+    }
+    controller.Close(60);
+    text_in->Close();
+  });
+
+  std::printf("\nfinal counts (each word appeared once per epoch):\n");
+  for (auto& [word, count] : counts) {
+    std::printf("  %-10s %3lld  (last applied on worker %u)\n", word.c_str(),
+                static_cast<long long>(count), last_owner[word]);
+  }
+  std::printf("\nall words were counted 60 times across a live migration.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Lightweight invariant-checking macros in the spirit of glog/RocksDB
+// assertions. CHECK-style macros are always on (they guard dataflow
+// correctness invariants whose violation would silently corrupt results);
+// DCHECK-style macros compile out in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace megaphone {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace detail {
+// Builds the optional streamed message for MEGA_CHECK(...) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, os_.str()); }
+  template <typename V>
+  CheckMessage& operator<<(const V& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace megaphone
+
+#define MEGA_CHECK(expr)                                            \
+  if (expr) {                                                       \
+  } else                                                            \
+    ::megaphone::detail::CheckMessage(__FILE__, __LINE__, #expr)
+
+#define MEGA_CHECK_EQ(a, b) MEGA_CHECK((a) == (b))
+#define MEGA_CHECK_NE(a, b) MEGA_CHECK((a) != (b))
+#define MEGA_CHECK_LT(a, b) MEGA_CHECK((a) < (b))
+#define MEGA_CHECK_LE(a, b) MEGA_CHECK((a) <= (b))
+#define MEGA_CHECK_GT(a, b) MEGA_CHECK((a) > (b))
+#define MEGA_CHECK_GE(a, b) MEGA_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define MEGA_DCHECK(expr) MEGA_CHECK(expr)
+#else
+#define MEGA_DCHECK(expr) \
+  if (true) {             \
+  } else                  \
+    ::megaphone::detail::CheckMessage(__FILE__, __LINE__, #expr)
+#endif

@@ -1,0 +1,39 @@
+// Hashing utilities used for key exchange and bin assignment.
+//
+// Megaphone assigns keys to bins using the *most significant* bits of the
+// hashed key (paper §4.2), so the hash function must mix well in the high
+// bits. We use a Murmur3-style 64-bit finalizer, which does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace megaphone {
+
+/// Murmur3 64-bit finalizer: a fast, well-mixing bijection on uint64_t.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a for byte strings (used for hashing names and composite keys).
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Finalize so that the high bits are well distributed too.
+  return HashMix64(h);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace megaphone

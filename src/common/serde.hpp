@@ -1,0 +1,274 @@
+// Binary serialization for migrating state across dataflow channels.
+//
+// The Rust Megaphone uses Abomonation to serialize bins when they migrate
+// between workers. This archive plays the same role: when operator F
+// uninstalls a bin it encodes it to a byte vector, ships the bytes through
+// an ordinary dataflow channel, and operator S decodes it on arrival. The
+// encode/decode cost is proportional to the state size, which is essential
+// for reproducing the paper's migration-duration and memory experiments.
+//
+// Types participate either by being trivially copyable, by being one of the
+// supported standard containers, or by providing:
+//
+//   void Serialize(megaphone::Writer& w) const;
+//   static T Deserialize(megaphone::Reader& r);
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace megaphone {
+
+/// Append-only byte sink used when encoding.
+class Writer {
+ public:
+  void WriteBytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential byte source used when decoding.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit Reader(const std::vector<uint8_t>& v)
+      : Reader(v.data(), v.size()) {}
+
+  void ReadBytes(void* out, size_t n) {
+    MEGA_CHECK_LE(pos_ + n, size_) << "serde: read past end of buffer";
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Serde<T> dispatch. Specializations below cover scalars, strings, pairs,
+// vectors, maps, optionals, and any type exposing Serialize/Deserialize.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Enable = void>
+struct Serde;
+
+template <typename T>
+void Encode(Writer& w, const T& value) {
+  Serde<T>::Encode(w, value);
+}
+
+template <typename T>
+T Decode(Reader& r) {
+  return Serde<T>::Decode(r);
+}
+
+/// Convenience: encode a value into a fresh byte vector.
+template <typename T>
+std::vector<uint8_t> EncodeToBytes(const T& value) {
+  Writer w;
+  Encode(w, value);
+  return w.Take();
+}
+
+/// Convenience: decode a full byte vector into a value.
+template <typename T>
+T DecodeFromBytes(const std::vector<uint8_t>& bytes) {
+  Reader r(bytes);
+  T value = Decode<T>(r);
+  MEGA_CHECK(r.AtEnd()) << "serde: trailing bytes after decode";
+  return value;
+}
+
+namespace detail {
+template <typename T>
+concept HasMemberSerde = requires(const T& t, Writer& w, Reader& r) {
+  { t.Serialize(w) };
+  { T::Deserialize(r) } -> std::same_as<T>;
+};
+
+// Standard wrappers with dedicated specializations below; excluded from the
+// trivially-copyable fallback even when they happen to be trivially
+// copyable (e.g. std::pair<int, int>).
+template <typename T>
+struct IsStdWrapper : std::false_type {};
+template <typename A, typename B>
+struct IsStdWrapper<std::pair<A, B>> : std::true_type {};
+template <typename T>
+struct IsStdWrapper<std::optional<T>> : std::true_type {};
+template <typename... Ts>
+struct IsStdWrapper<std::tuple<Ts...>> : std::true_type {};
+}  // namespace detail
+
+// Trivially copyable scalars and PODs without member serde.
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_trivially_copyable_v<T> &&
+                                 !detail::IsStdWrapper<T>::value &&
+                                 !detail::HasMemberSerde<T>>> {
+  static void Encode(Writer& w, const T& v) { w.WriteBytes(&v, sizeof(T)); }
+  static T Decode(Reader& r) {
+    T v;
+    r.ReadBytes(&v, sizeof(T));
+    return v;
+  }
+};
+
+// Types providing Serialize/Deserialize members.
+template <typename T>
+struct Serde<T, std::enable_if_t<detail::HasMemberSerde<T>>> {
+  static void Encode(Writer& w, const T& v) { v.Serialize(w); }
+  static T Decode(Reader& r) { return T::Deserialize(r); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void Encode(Writer& w, const std::string& s) {
+    uint64_t n = s.size();
+    w.WriteBytes(&n, sizeof(n));
+    w.WriteBytes(s.data(), s.size());
+  }
+  static std::string Decode(Reader& r) {
+    uint64_t n;
+    r.ReadBytes(&n, sizeof(n));
+    std::string s(n, '\0');
+    r.ReadBytes(s.data(), n);
+    return s;
+  }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void Encode(Writer& w, const std::pair<A, B>& p) {
+    megaphone::Encode(w, p.first);
+    megaphone::Encode(w, p.second);
+  }
+  static std::pair<A, B> Decode(Reader& r) {
+    A a = megaphone::Decode<A>(r);
+    B b = megaphone::Decode<B>(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <typename... Ts>
+struct Serde<std::tuple<Ts...>> {
+  static void Encode(Writer& w, const std::tuple<Ts...>& t) {
+    std::apply([&](const Ts&... vs) { (megaphone::Encode(w, vs), ...); }, t);
+  }
+  static std::tuple<Ts...> Decode(Reader& r) {
+    // Braced init guarantees left-to-right evaluation order.
+    return std::tuple<Ts...>{megaphone::Decode<Ts>(r)...};
+  }
+};
+
+template <typename T>
+struct Serde<std::optional<T>> {
+  static void Encode(Writer& w, const std::optional<T>& o) {
+    uint8_t has = o.has_value() ? 1 : 0;
+    w.WriteBytes(&has, 1);
+    if (has) megaphone::Encode(w, *o);
+  }
+  static std::optional<T> Decode(Reader& r) {
+    uint8_t has;
+    r.ReadBytes(&has, 1);
+    if (!has) return std::nullopt;
+    return megaphone::Decode<T>(r);
+  }
+};
+
+template <typename T>
+struct Serde<std::vector<T>> {
+  static void Encode(Writer& w, const std::vector<T>& v) {
+    uint64_t n = v.size();
+    w.WriteBytes(&n, sizeof(n));
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  !detail::HasMemberSerde<T>) {
+      w.WriteBytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) megaphone::Encode(w, e);
+    }
+  }
+  static std::vector<T> Decode(Reader& r) {
+    uint64_t n;
+    r.ReadBytes(&n, sizeof(n));
+    std::vector<T> v;
+    if constexpr (std::is_trivially_copyable_v<T> &&
+                  !detail::HasMemberSerde<T>) {
+      v.resize(n);
+      r.ReadBytes(v.data(), n * sizeof(T));
+    } else {
+      v.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) v.push_back(megaphone::Decode<T>(r));
+    }
+    return v;
+  }
+};
+
+template <typename K, typename V, typename C>
+struct Serde<std::map<K, V, C>> {
+  static void Encode(Writer& w, const std::map<K, V, C>& m) {
+    uint64_t n = m.size();
+    w.WriteBytes(&n, sizeof(n));
+    for (const auto& [k, v] : m) {
+      megaphone::Encode(w, k);
+      megaphone::Encode(w, v);
+    }
+  }
+  static std::map<K, V, C> Decode(Reader& r) {
+    uint64_t n;
+    r.ReadBytes(&n, sizeof(n));
+    std::map<K, V, C> m;
+    for (uint64_t i = 0; i < n; ++i) {
+      K k = megaphone::Decode<K>(r);
+      V v = megaphone::Decode<V>(r);
+      m.emplace_hint(m.end(), std::move(k), std::move(v));
+    }
+    return m;
+  }
+};
+
+template <typename K, typename V, typename H, typename E>
+struct Serde<std::unordered_map<K, V, H, E>> {
+  static void Encode(Writer& w, const std::unordered_map<K, V, H, E>& m) {
+    uint64_t n = m.size();
+    w.WriteBytes(&n, sizeof(n));
+    for (const auto& [k, v] : m) {
+      megaphone::Encode(w, k);
+      megaphone::Encode(w, v);
+    }
+  }
+  static std::unordered_map<K, V, H, E> Decode(Reader& r) {
+    uint64_t n;
+    r.ReadBytes(&n, sizeof(n));
+    std::unordered_map<K, V, H, E> m;
+    m.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      K k = megaphone::Decode<K>(r);
+      V v = megaphone::Decode<V>(r);
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+};
+
+}  // namespace megaphone

@@ -1,0 +1,45 @@
+// Wall-clock helpers shared by the open-loop harness and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace megaphone {
+
+/// Monotonic wall-clock in nanoseconds since an arbitrary epoch.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline void SleepNanos(uint64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+/// Abstract clock so tests can drive time deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t Nanos() = 0;
+};
+
+class SteadyClock final : public Clock {
+ public:
+  uint64_t Nanos() override { return NowNanos(); }
+};
+
+/// Manually advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  uint64_t Nanos() override { return now_; }
+  void Advance(uint64_t ns) { now_ += ns; }
+  void Set(uint64_t ns) { now_ = ns; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace megaphone

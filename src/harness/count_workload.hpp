@@ -1,0 +1,370 @@
+// The counting micro-benchmark workload and its open-loop driver
+// (paper §5.2, §5.3): a stream of uniformly random 64-bit identifiers whose
+// per-identifier occurrence counts are maintained as operator state.
+//
+// Three operator variants are provided:
+//   * kHashCount — Megaphone operator, bins hold hash maps ("hash count");
+//   * kKeyCount  — Megaphone operator, bins hold dense arrays ("key count");
+//   * kNativeHash / kNativeKey — hand-tuned timely operators without
+//     migration support, the paper's "Native" baselines.
+//
+// The driver is open-loop: records are injected at their scheduled wall
+// deadline regardless of system responsiveness, per-epoch completion is
+// observed through a probe on the operator output, and latencies are
+// recorded into 250 ms timeline buckets — precisely the paper's harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rate_limiter.hpp"
+#include "common/time_util.hpp"
+#include "harness/histogram.hpp"
+#include "harness/rss.hpp"
+#include "megaphone/megaphone.hpp"
+#include "timely/timely.hpp"
+
+namespace megaphone {
+
+enum class CountMode { kHashCount, kKeyCount, kNativeHash, kNativeKey };
+
+inline const char* CountModeName(CountMode m) {
+  switch (m) {
+    case CountMode::kHashCount: return "hash-count";
+    case CountMode::kKeyCount: return "key-count";
+    case CountMode::kNativeHash: return "native-hash";
+    case CountMode::kNativeKey: return "native-key";
+  }
+  return "?";
+}
+
+struct CountBenchConfig {
+  uint32_t workers = 4;
+  uint32_t num_bins = 1 << 8;
+  uint64_t domain = 1 << 20;  // distinct keys; power of two
+  double rate = 500'000;      // records/second, all workers combined
+  uint64_t duration_ms = 3000;
+  CountMode mode = CountMode::kKeyCount;
+  bool preload = true;  // touch every key before measuring
+  uint64_t state_bytes_per_sec = 0;
+
+  struct Migration {
+    uint64_t at_ms;  // relative to measurement start
+    Assignment to;
+  };
+  std::vector<Migration> migrations;
+  MigrationStrategy strategy = MigrationStrategy::kBatched;
+  size_t batch_size = 16;
+  uint64_t gap_ms = 0;
+
+  uint64_t seed = 1;
+  bool sample_rss = false;
+  uint64_t epoch_ns = 1'000'000;  // 1 ms epochs
+};
+
+struct MigrationStats {
+  double start_sec = 0;
+  double end_sec = 0;
+  double duration_sec() const { return end_sec - start_sec; }
+  double max_ms = 0;  // max latency observed during the migration window
+  size_t batches = 0;
+};
+
+struct CountBenchResult {
+  Timeline timeline{250'000'000};
+  Histogram per_record;  // per-record latency, steady state and migration
+  Histogram steady;      // samples outside migration windows
+  std::vector<MigrationStats> migrations;
+  std::vector<std::pair<double, uint64_t>> rss_samples;  // (t_sec, bytes)
+  uint64_t records_sent = 0;
+  double duration_sec = 0;
+};
+
+namespace detail {
+
+inline uint64_t CountKey(uint64_t seed, uint64_t idx, uint64_t domain) {
+  return HashMix64(seed ^ (idx * 0x9e3779b97f4a7c15ULL)) & (domain - 1);
+}
+
+inline int Log2(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+}  // namespace detail
+
+/// Runs the counting workload; see CountBenchConfig. Latency, timeline,
+/// and memory metrics are collected on worker 0.
+inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
+  using timely::OpCtx;
+  using timely::Scope;
+  using timely::Worker;
+  using T = uint64_t;
+
+  MEGA_CHECK((cfg.domain & (cfg.domain - 1)) == 0) << "domain: power of two";
+  MEGA_CHECK_GE(cfg.domain, cfg.num_bins);
+
+  CountBenchResult result;
+  std::mutex result_mu;
+  std::atomic<uint64_t> t0{0};  // measurement origin (set after preload)
+  std::atomic<uint64_t> total_sent{0};
+
+  const int log_domain = detail::Log2(cfg.domain);
+  const uint64_t keys_per_bin = cfg.domain / cfg.num_bins;
+  const bool is_native = cfg.mode == CountMode::kNativeHash ||
+                         cfg.mode == CountMode::kNativeKey;
+
+  timely::Execute(timely::Config{cfg.workers}, [&](Worker& w) {
+    struct Handles {
+      timely::Input<ControlInst, T> ctrl;
+      timely::Input<uint64_t, T> data;
+      timely::ProbeHandle<T> probe;
+    };
+    auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
+      auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
+      auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
+      timely::ProbeHandle<T> probe;
+      Config mcfg;
+      mcfg.num_bins = cfg.num_bins;
+      mcfg.state_bytes_per_sec = cfg.state_bytes_per_sec;
+      mcfg.name = CountModeName(cfg.mode);
+      switch (cfg.mode) {
+        case CountMode::kHashCount: {
+          using BinState = std::unordered_map<uint64_t, uint64_t>;
+          auto out = Unary<BinState, uint64_t>(
+              ctrl_stream, data_stream,
+              [](const uint64_t& k) { return HashMix64(k); },
+              [](const T&, BinState& state, std::vector<uint64_t>& recs,
+                 auto, auto&) {
+                for (uint64_t k : recs) state[k]++;
+              },
+              mcfg);
+          probe = out.probe;
+          break;
+        }
+        case CountMode::kKeyCount: {
+          struct DenseBin {
+            std::vector<uint64_t> counts;
+            void Serialize(Writer& wr) const { Encode(wr, counts); }
+            static DenseBin Deserialize(Reader& r) {
+              return DenseBin{Decode<std::vector<uint64_t>>(r)};
+            }
+          };
+          const int shift = 64 - log_domain;
+          const uint64_t slot_mask = keys_per_bin - 1;
+          auto out = Unary<DenseBin, uint64_t>(
+              ctrl_stream, data_stream,
+              [shift](const uint64_t& k) { return k << shift; },
+              [keys_per_bin, slot_mask](const T&, DenseBin& state,
+                                        std::vector<uint64_t>& recs, auto,
+                                        auto&) {
+                if (state.counts.empty()) state.counts.resize(keys_per_bin);
+                for (uint64_t k : recs) state.counts[k & slot_mask]++;
+              },
+              mcfg);
+          probe = out.probe;
+          break;
+        }
+        case CountMode::kNativeHash: {
+          using State = std::unordered_map<uint64_t, uint64_t>;
+          auto out = timely::StatefulUnary<State, uint64_t>(
+              data_stream, "NativeHashCount",
+              [](const uint64_t& k) { return HashMix64(k); },
+              [](const T&, std::vector<uint64_t>& recs, State& state,
+                 OpCtx<T>&, timely::OutputHandle<uint64_t, T>&) {
+                for (uint64_t k : recs) state[k]++;
+              });
+          probe = timely::Probe(out);
+          break;
+        }
+        case CountMode::kNativeKey: {
+          struct State {
+            std::vector<uint64_t> counts;
+          };
+          const uint32_t workers = s.peers();
+          auto out = timely::StatefulUnary<State, uint64_t>(
+              data_stream, "NativeKeyCount",
+              [](const uint64_t& k) { return k; },  // worker = key % W
+              [workers, domain = cfg.domain](const T&,
+                                             std::vector<uint64_t>& recs,
+                                             State& state, OpCtx<T>&,
+                                             timely::OutputHandle<uint64_t, T>&) {
+                if (state.counts.empty()) {
+                  state.counts.resize(domain / workers + 1);
+                }
+                for (uint64_t k : recs) state.counts[k / workers]++;
+              });
+          probe = timely::Probe(out);
+          break;
+        }
+      }
+      return Handles{ctrl_in, data_in, probe};
+    });
+    auto& [ctrl_in, data_in, probe] = handles;
+
+    typename MigrationController<T>::Options mopts;
+    mopts.strategy = cfg.strategy;
+    mopts.batch_size = cfg.batch_size;
+    mopts.gap = cfg.gap_ms;  // epochs are 1 ms by default
+    MigrationController<T> controller(ctrl_in, probe, w.index(), mopts);
+
+    // ---- Preload: touch every key once at epoch 0, then wait. ----------
+    if (cfg.preload) {
+      std::vector<uint64_t> batch;
+      for (uint64_t k = w.index(); k < cfg.domain; k += cfg.workers) {
+        batch.push_back(k);
+        if (batch.size() == 4096) {
+          data_in->SendBatch(std::move(batch));
+          batch.clear();
+          w.Step();
+          std::this_thread::yield();
+        }
+      }
+      data_in->SendBatch(std::move(batch));
+    }
+    if (!is_native) controller.Advance(0, 1);
+    data_in->AdvanceTo(1);
+    w.StepUntil([&] { return !probe.LessThan(1); });
+
+    // ---- Measurement origin, shared across workers. --------------------
+    uint64_t expected = 0;
+    t0.compare_exchange_strong(expected, NowNanos());
+    const uint64_t start = t0.load();
+    const uint64_t end = start + cfg.duration_ms * 1'000'000;
+    OpenLoopPacer pacer(cfg.rate, start);
+
+    Assignment current = MakeInitialAssignment(cfg.num_bins, cfg.workers);
+    size_t next_mig = 0;
+
+    // Worker-0 measurement state.
+    Timeline timeline(250'000'000);
+    Histogram per_record, steady;
+    std::vector<MigrationStats> mig_stats;
+    std::vector<std::pair<double, uint64_t>> rss;
+    bool was_migrating = false;
+    size_t batches_before = 0;
+    uint64_t next_ack = 1;       // next epoch awaiting completion
+    uint64_t next_tick = 0;      // next 250 ms observation boundary
+    const uint64_t weight =
+        std::max<uint64_t>(1, static_cast<uint64_t>(cfg.rate * 1e-9 *
+                                                    cfg.epoch_ns));
+
+    uint64_t cur_epoch = 1;
+    uint64_t sent = w.index();  // global record index, strided by worker
+    while (true) {
+      uint64_t now = NowNanos();
+      if (now >= end) break;
+      uint64_t e = 1 + (now - start) / cfg.epoch_ns;
+      if (e > cur_epoch) {
+        while (next_mig < cfg.migrations.size() &&
+               cfg.migrations[next_mig].at_ms * 1'000'000 + start <= now) {
+          controller.MigrateTo(current, cfg.migrations[next_mig].to);
+          current = cfg.migrations[next_mig].to;
+          next_mig++;
+        }
+        if (!is_native) controller.Advance(e, e + 1);
+        data_in->AdvanceTo(e);
+        cur_epoch = e;
+      }
+      // Open loop: inject everything due by now, regardless of backlog.
+      uint64_t due = pacer.RecordsDueBy(now);
+      uint64_t injected = 0;
+      while (sent < due && injected < 65536) {
+        data_in->Send(detail::CountKey(cfg.seed, sent, cfg.domain));
+        sent += cfg.workers;
+        injected++;
+      }
+      w.Step();
+      // With more worker threads than cores the OS must round-robin the
+      // workers; yielding after each step keeps the rotation at loop
+      // granularity rather than scheduler quanta (which would otherwise
+      // put a multi-millisecond floor under every latency).
+      std::this_thread::yield();
+
+      if (w.index() == 0) {
+        // Epoch completions -> latency samples.
+        while (next_ack < cur_epoch && !probe.LessEqual(next_ack)) {
+          uint64_t deadline = start + next_ack * cfg.epoch_ns;
+          uint64_t lat = now > deadline ? now - deadline : 0;
+          timeline.Add(now - start, lat, 1);
+          per_record.Add(lat, weight);
+          if (!controller.Migrating()) steady.Add(lat, weight);
+          next_ack++;
+        }
+        if (now - start >= next_tick) {
+          // Outstanding (not yet completed) work also registers latency,
+          // so stalls are visible while they happen.
+          if (next_ack < cur_epoch) {
+            uint64_t deadline = start + next_ack * cfg.epoch_ns;
+            if (now > deadline) timeline.Add(now - start, now - deadline, 1);
+          }
+          if (cfg.sample_rss) {
+            rss.emplace_back(static_cast<double>(now - start) * 1e-9,
+                             CurrentRssBytes());
+          }
+          next_tick += 250'000'000;
+        }
+        bool migrating = controller.Migrating();
+        if (migrating && !was_migrating) {
+          MigrationStats ms;
+          ms.start_sec = static_cast<double>(now - start) * 1e-9;
+          ms.batches = controller.completed_batches() - batches_before;
+          mig_stats.push_back(ms);
+        }
+        if (!migrating && was_migrating && !mig_stats.empty()) {
+          mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
+          mig_stats.back().batches =
+              controller.completed_batches() - batches_before;
+          batches_before = controller.completed_batches();
+        }
+        was_migrating = migrating;
+      }
+    }
+
+    total_sent += (sent - w.index()) / cfg.workers;
+    if (!is_native) controller.Close(cur_epoch + 1);
+    data_in->Close();
+
+    if (w.index() == 0) {
+      // Drain the backlog, acking the remaining epochs.
+      w.StepUntil([&] { return probe.Done(); });
+      uint64_t now = NowNanos();
+      while (next_ack <= cur_epoch) {
+        uint64_t deadline = start + next_ack * cfg.epoch_ns;
+        if (now > deadline) {
+          timeline.Add(now - start, now - deadline, 1);
+          per_record.Add(now - deadline, weight);
+        }
+        next_ack++;
+      }
+      if (was_migrating && !mig_stats.empty() &&
+          mig_stats.back().end_sec == 0) {
+        // The run ended mid-migration; the epilogue drain completed it.
+        mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
+        mig_stats.back().batches =
+            controller.completed_batches() - batches_before;
+      }
+      for (auto& ms : mig_stats) {
+        ms.max_ms = static_cast<double>(timeline.MaxIn(
+                        static_cast<uint64_t>(ms.start_sec * 1e9),
+                        static_cast<uint64_t>(ms.end_sec * 1e9) +
+                            500'000'000)) *
+                    1e-6;
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.timeline = std::move(timeline);
+      result.per_record = std::move(per_record);
+      result.steady = std::move(steady);
+      result.migrations = std::move(mig_stats);
+      result.rss_samples = std::move(rss);
+      result.duration_sec = static_cast<double>(now - start) * 1e-9;
+    }
+  });
+  result.records_sent = total_sent.load();
+  return result;
+}
+
+}  // namespace megaphone

@@ -1,0 +1,7 @@
+// Umbrella header for the benchmark harness.
+#pragma once
+
+#include "harness/count_workload.hpp"  // IWYU pragma: export
+#include "harness/histogram.hpp"       // IWYU pragma: export
+#include "harness/report.hpp"          // IWYU pragma: export
+#include "harness/rss.hpp"             // IWYU pragma: export

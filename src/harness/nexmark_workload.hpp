@@ -1,0 +1,348 @@
+// Open-loop NEXMark bench driver (paper §5.1, Figs. 5-12): generates the
+// event stream at a configured rate with event time equal to injection
+// wall time, runs a chosen query (native or Megaphone), migrates the
+// stateful operators mid-run, and records the latency timeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rate_limiter.hpp"
+#include "common/time_util.hpp"
+#include "harness/count_workload.hpp"  // MigrationStats
+#include "harness/histogram.hpp"
+#include "harness/report.hpp"
+#include "megaphone/megaphone.hpp"
+#include "nexmark/nexmark.hpp"
+#include "timely/timely.hpp"
+
+namespace megaphone {
+
+struct NexmarkBenchConfig {
+  int query = 3;             // 1..8
+  bool use_megaphone = true;  // false: native baseline
+  uint32_t workers = 4;
+  double rate = 100'000;  // events/second
+  uint64_t duration_ms = 5000;
+  nexmark::QueryConfig qcfg;
+  nexmark::GeneratorConfig gcfg;
+
+  struct Migration {
+    uint64_t at_ms;
+    Assignment to;
+  };
+  std::vector<Migration> migrations;
+  MigrationStrategy strategy = MigrationStrategy::kBatched;
+  size_t batch_size = 64;
+};
+
+struct NexmarkBenchResult {
+  Timeline timeline{250'000'000};
+  Histogram steady;
+  std::vector<MigrationStats> migrations;
+  uint64_t outputs = 0;
+  uint64_t events_sent = 0;
+};
+
+namespace detail {
+
+/// Builds query `q` (native or Megaphone) and returns a probe on its
+/// output; outputs are counted into `*counter`.
+template <typename T>
+timely::ProbeHandle<T> BuildNexmarkQuery(
+    int q, bool mega, timely::Stream<ControlInst, T> ctrl,
+    nexmark::NexmarkStreams<T>& in, const nexmark::QueryConfig& qcfg,
+    std::atomic<uint64_t>* counter) {
+  auto count = [counter](auto stream) {
+    timely::Sink(stream, [counter](const T&, auto& data) {
+      *counter += data.size();
+    });
+    return timely::Probe(stream);
+  };
+  if (mega) {
+    switch (q) {
+      case 1: { auto o = nexmark::Q1Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 2: { auto o = nexmark::Q2Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 3: { auto o = nexmark::Q3Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 4: { auto o = nexmark::Q4Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 5: { auto o = nexmark::Q5Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 6: { auto o = nexmark::Q6Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 7: { auto o = nexmark::Q7Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+      case 8: { auto o = nexmark::Q8Mega(ctrl, in, qcfg); count(o.stream); return o.probe; }
+    }
+  } else {
+    switch (q) {
+      case 1: return count(nexmark::Q1Native(in, qcfg));
+      case 2: return count(nexmark::Q2Native(in, qcfg));
+      case 3: return count(nexmark::Q3Native(in, qcfg));
+      case 4: return count(nexmark::Q4Native(in, qcfg));
+      case 5: return count(nexmark::Q5Native(in, qcfg));
+      case 6: return count(nexmark::Q6Native(in, qcfg));
+      case 7: return count(nexmark::Q7Native(in, qcfg));
+      case 8: return count(nexmark::Q8Native(in, qcfg));
+    }
+  }
+  MEGA_CHECK(false) << "unknown query " << q;
+  return {};
+}
+
+}  // namespace detail
+
+inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg) {
+  using T = uint64_t;
+  NexmarkBenchResult result;
+  std::mutex result_mu;
+  std::atomic<uint64_t> outputs{0};
+  std::atomic<uint64_t> total_sent{0};
+  std::atomic<uint64_t> t0{0};
+
+  // Event time tracks injection deadlines: one generated event stream at
+  // `rate` events/second.
+  cfg.gcfg.events_per_sec = static_cast<uint64_t>(cfg.rate);
+  nexmark::Generator gen(cfg.gcfg);
+
+  timely::Execute(timely::Config{cfg.workers}, [&](timely::Worker& w) {
+    struct Handles {
+      timely::Input<ControlInst, T> ctrl;
+      timely::Input<nexmark::Person, T> persons;
+      timely::Input<nexmark::Auction, T> auctions;
+      timely::Input<nexmark::Bid, T> bids;
+      timely::ProbeHandle<T> probe;
+    };
+    auto handles = w.Dataflow<T>([&](timely::Scope<T>& s) -> Handles {
+      auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
+      auto [p_in, p_stream] = timely::NewInput<nexmark::Person>(s);
+      auto [a_in, a_stream] = timely::NewInput<nexmark::Auction>(s);
+      auto [b_in, b_stream] = timely::NewInput<nexmark::Bid>(s);
+      nexmark::NexmarkStreams<T> streams{p_stream, a_stream, b_stream};
+      auto probe = detail::BuildNexmarkQuery(
+          cfg.query, cfg.use_megaphone, ctrl_stream, streams, cfg.qcfg,
+          &outputs);
+      return Handles{ctrl_in, p_in, a_in, b_in, probe};
+    });
+    auto& [ctrl_in, p_in, a_in, b_in, probe] = handles;
+
+    typename MigrationController<T>::Options mopts;
+    mopts.strategy = cfg.strategy;
+    mopts.batch_size = cfg.batch_size;
+    MigrationController<T> controller(ctrl_in, probe, w.index(), mopts);
+
+    uint64_t expected = 0;
+    t0.compare_exchange_strong(expected, NowNanos());
+    const uint64_t start = t0.load();
+    const uint64_t end = start + cfg.duration_ms * 1'000'000;
+    OpenLoopPacer pacer(cfg.rate, start);
+
+    Assignment current =
+        MakeInitialAssignment(cfg.qcfg.num_bins, cfg.workers);
+    size_t next_mig = 0;
+
+    Timeline timeline(250'000'000);
+    Histogram steady;
+    std::vector<MigrationStats> mig_stats;
+    bool was_migrating = false;
+    size_t batches_before = 0;
+    uint64_t next_ack = 1, next_tick = 0;
+
+    uint64_t cur_epoch = 0;
+    uint64_t idx = w.index();  // event index, strided by worker
+    controller.Advance(0, 1);
+
+    // Records are injected *at their deadline's epoch*: the stream
+    // timestamp always equals the record's event time, even when the
+    // system lags and records are injected in a burst (the open loop).
+    // Window markers post-dated off event times therefore always land
+    // strictly in the future.
+    auto advance_all = [&](uint64_t e) {
+      while (next_mig < cfg.migrations.size() &&
+             cfg.migrations[next_mig].at_ms < e) {
+        controller.MigrateTo(current, cfg.migrations[next_mig].to);
+        current = cfg.migrations[next_mig].to;
+        next_mig++;
+      }
+      controller.Advance(e, e + 1);
+      p_in->AdvanceTo(e);
+      a_in->AdvanceTo(e);
+      b_in->AdvanceTo(e);
+      cur_epoch = e;
+    };
+    auto epoch_of = [&](uint64_t record_idx) {
+      return (pacer.DeadlineFor(record_idx) - start) / 1'000'000 + 1;
+    };
+
+    while (true) {
+      uint64_t now = NowNanos();
+      if (now >= end) break;
+      uint64_t wall_epoch = 1 + (now - start) / 1'000'000;
+      uint64_t due = pacer.RecordsDueBy(now);
+      uint64_t injected = 0;
+      while (idx < due && injected < 65536) {
+        uint64_t ems = epoch_of(idx);
+        if (ems > cur_epoch) advance_all(ems);
+        nexmark::Event ev = gen.At(idx);
+        switch (ev.kind) {
+          case nexmark::Event::Kind::kPerson:
+            ev.person.date_time = cur_epoch;
+            p_in->Send(std::move(ev.person));
+            break;
+          case nexmark::Event::Kind::kAuction:
+            ev.auction.date_time = cur_epoch;
+            ev.auction.expires = cur_epoch + cfg.gcfg.auction_duration_ms;
+            a_in->Send(std::move(ev.auction));
+            break;
+          case nexmark::Event::Kind::kBid:
+            ev.bid.date_time = cur_epoch;
+            b_in->Send(std::move(ev.bid));
+            break;
+        }
+        idx += cfg.workers;
+        injected++;
+      }
+      if (injected == 0) {
+        // Idle: let event time follow the wall clock, but never past the
+        // next record's epoch (its timestamp must still be current when
+        // it is injected).
+        uint64_t adv = std::min(wall_epoch, epoch_of(idx));
+        if (adv > cur_epoch) advance_all(adv);
+      }
+      w.Step();
+      std::this_thread::yield();
+
+      if (w.index() == 0) {
+        while (next_ack < cur_epoch && !probe.LessEqual(next_ack)) {
+          uint64_t deadline = start + next_ack * 1'000'000;
+          uint64_t lat = now > deadline ? now - deadline : 0;
+          timeline.Add(now - start, lat, 1);
+          if (!controller.Migrating()) steady.Add(lat);
+          next_ack++;
+        }
+        if (now - start >= next_tick) {
+          if (next_ack < cur_epoch) {
+            uint64_t deadline = start + next_ack * 1'000'000;
+            if (now > deadline) timeline.Add(now - start, now - deadline, 1);
+          }
+          next_tick += 250'000'000;
+        }
+        bool migrating = controller.Migrating();
+        if (migrating && !was_migrating) {
+          MigrationStats ms;
+          ms.start_sec = static_cast<double>(now - start) * 1e-9;
+          mig_stats.push_back(ms);
+        }
+        if (!migrating && was_migrating && !mig_stats.empty()) {
+          mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
+          mig_stats.back().batches =
+              controller.completed_batches() - batches_before;
+          batches_before = controller.completed_batches();
+        }
+        was_migrating = migrating;
+      }
+    }
+
+    total_sent += (idx - w.index()) / cfg.workers;
+    controller.Close(cur_epoch + 1);
+    p_in->Close();
+    a_in->Close();
+    b_in->Close();
+
+    if (w.index() == 0) {
+      w.StepUntil([&] { return probe.Done(); });
+      uint64_t now = NowNanos();
+      while (next_ack <= cur_epoch) {
+        uint64_t deadline = start + next_ack * 1'000'000;
+        if (now > deadline) timeline.Add(now - start, now - deadline, 1);
+        next_ack++;
+      }
+      if (was_migrating && !mig_stats.empty() &&
+          mig_stats.back().end_sec == 0) {
+        mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
+      }
+      for (auto& ms : mig_stats) {
+        ms.max_ms = static_cast<double>(timeline.MaxIn(
+                        static_cast<uint64_t>(ms.start_sec * 1e9),
+                        static_cast<uint64_t>(ms.end_sec * 1e9) +
+                            500'000'000)) *
+                    1e-6;
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      result.timeline = std::move(timeline);
+      result.steady = std::move(steady);
+      result.migrations = std::move(mig_stats);
+    }
+  });
+  result.outputs = outputs.load();
+  result.events_sent = total_sent.load();
+  return result;
+}
+
+/// Shared main() body for the Fig. 5-12 benches: runs query `q` with
+/// all-at-once and batched migration (plus an optional native panel, as in
+/// Fig. 7) and prints the timelines the paper plots.
+inline int NexmarkFigureMain(int q, bool with_native, int argc, char** argv) {
+  Flags flags(argc, argv);
+  NexmarkBenchConfig cfg;
+  cfg.query = q;
+  cfg.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
+  cfg.rate = flags.GetDouble("rate", 50'000);
+  cfg.duration_ms = flags.GetInt("duration_ms", 5000);
+  cfg.qcfg.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 256));
+  cfg.batch_size = flags.GetInt("batch_size", 16);
+  cfg.gcfg.auction_duration_ms = flags.GetInt("auction_ms", 1000);
+  cfg.qcfg.q5_slide_ms = flags.GetInt("q5_slide_ms", 250);
+  cfg.qcfg.q5_slices = flags.GetInt("q5_slices", 8);
+  cfg.qcfg.q7_window_ms = flags.GetInt("q7_window_ms", 1000);
+  cfg.qcfg.q8_window_ms = flags.GetInt("q8_window_ms", 2000);
+  uint64_t mig1 = flags.GetInt("migrate_at_ms", cfg.duration_ms * 2 / 5);
+  uint64_t mig2 = flags.GetInt("migrate2_at_ms", cfg.duration_ms * 7 / 10);
+
+  std::printf("# NEXMark Q%d: rate=%.0f events/s, workers=%u, bins=%u, "
+              "migrations at %llu ms and %llu ms\n",
+              q, cfg.rate, cfg.workers, cfg.qcfg.num_bins,
+              static_cast<unsigned long long>(mig1),
+              static_cast<unsigned long long>(mig2));
+
+  auto imbalanced =
+      MakeImbalancedAssignment(cfg.qcfg.num_bins, cfg.workers);
+  auto balanced = MakeInitialAssignment(cfg.qcfg.num_bins, cfg.workers);
+
+  struct Variant {
+    const char* label;
+    MigrationStrategy strategy;
+  };
+  std::vector<Variant> variants = {
+      {"all-at-once", MigrationStrategy::kAllAtOnce},
+      {"megaphone-batched", MigrationStrategy::kBatched},
+  };
+  std::vector<double> max_ms;
+  for (const auto& v : variants) {
+    NexmarkBenchConfig run = cfg;
+    run.strategy = v.strategy;
+    run.migrations = {{mig1, imbalanced}, {mig2, balanced}};
+    auto r = RunNexmarkBench(run);
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, cfg.qcfg.num_bins, "bins", r.migrations);
+    std::printf("# %s: outputs=%llu steady p99=%.3f ms\n\n", v.label,
+                static_cast<unsigned long long>(r.outputs),
+                static_cast<double>(r.steady.Quantile(0.99)) * 1e-6);
+    double m = 0;
+    for (auto& ms : r.migrations) m = std::max(m, ms.max_ms);
+    max_ms.push_back(m);
+  }
+  if (with_native) {
+    NexmarkBenchConfig run = cfg;
+    run.use_megaphone = false;
+    auto r = RunNexmarkBench(run);
+    PrintTimeline("native", r.timeline);
+    std::printf("# native: outputs=%llu steady p99=%.3f ms\n\n",
+                static_cast<unsigned long long>(r.outputs),
+                static_cast<double>(r.steady.Quantile(0.99)) * 1e-6);
+  }
+  std::printf("# summary Q%d: max latency during migration: "
+              "all-at-once=%.3f ms, megaphone-batched=%.3f ms\n",
+              q, max_ms[0], max_ms[1]);
+  return 0;
+}
+
+}  // namespace megaphone

@@ -1,0 +1,21 @@
+// Resident-set-size sampling for the memory experiment (paper Fig. 20).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace megaphone {
+
+/// Current resident set size in bytes (Linux /proc/self/statm), 0 on
+/// failure.
+inline uint64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long size = 0, resident = 0;
+  int n = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<uint64_t>(resident) * 4096;
+}
+
+}  // namespace megaphone

@@ -1,0 +1,108 @@
+// Bins: the unit of state migration.
+//
+// Megaphone groups keys into a fixed power-of-two number of bins
+// (paper §4.2); a bin holds the user state for its keys plus all pending
+// post-dated records ("the list of pending (val, time) records produced by
+// the operator for future times", §3.4), so that a migration moves both.
+//
+// The F and S operator instances on the same worker share the bin
+// container through a shared pointer — they run on the same thread, so no
+// synchronization is needed, exactly as the paper describes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "megaphone/control.hpp"
+
+namespace megaphone {
+
+/// State and pending records of one bin for a unary operator.
+template <typename S, typename D, typename T>
+struct Bin {
+  S state{};
+  std::map<T, std::vector<D>> pending;  // post-dated records by time
+
+  void Serialize(Writer& w) const {
+    Encode(w, state);
+    Encode(w, pending);
+  }
+  static Bin Deserialize(Reader& r) {
+    Bin b;
+    b.state = Decode<S>(r);
+    b.pending = Decode<std::map<T, std::vector<D>>>(r);
+    return b;
+  }
+};
+
+/// State and pending records of one bin for a binary operator.
+template <typename S, typename D1, typename D2, typename T>
+struct BinaryBin {
+  S state{};
+  std::map<T, std::vector<D1>> pending1;
+  std::map<T, std::vector<D2>> pending2;
+
+  void Serialize(Writer& w) const {
+    Encode(w, state);
+    Encode(w, pending1);
+    Encode(w, pending2);
+  }
+  static BinaryBin Deserialize(Reader& r) {
+    BinaryBin b;
+    b.state = Decode<S>(r);
+    b.pending1 = Decode<std::map<T, std::vector<D1>>>(r);
+    b.pending2 = Decode<std::map<T, std::vector<D2>>>(r);
+    return b;
+  }
+};
+
+/// The per-worker bin container shared between co-located F and S
+/// instances. `bins[b] == nullptr` means bin b is not (or not yet)
+/// resident on this worker; S creates bins lazily on first use.
+///
+/// `pending_bins` indexes, per time, the resident bins holding pending
+/// records at that time — the "extended notificator" of §4.3, kept as an
+/// ordered map so S can replay pending times in order and F can unregister
+/// the times of a bin it extracts for migration.
+template <typename BinT, typename T>
+struct BinsShared {
+  explicit BinsShared(uint32_t n) : bins(n) {}
+
+  std::vector<std::unique_ptr<BinT>> bins;
+  std::map<T, std::set<BinId>> pending_bins;
+
+  /// Registers that `bin` has pending records at time `t`. Returns true if
+  /// `t` is newly pending for this worker (caller retains a capability).
+  bool RegisterPending(const T& t, BinId bin) {
+    auto [it, inserted] = pending_bins.emplace(t, std::set<BinId>{});
+    it->second.insert(bin);
+    return inserted;
+  }
+
+  /// Number of resident bins (for tests and load introspection).
+  size_t ResidentBins() const {
+    size_t n = 0;
+    for (const auto& b : bins) {
+      if (b) n++;
+    }
+    return n;
+  }
+};
+
+/// A migrating bin in flight on the state channel: the serialized payload
+/// plus its destination. Serialization is deliberate — its cost is
+/// proportional to the state size, which is what makes migration duration
+/// and memory behave as in the paper's evaluation.
+struct BinMigration {
+  uint32_t target = 0;
+  BinId bin = 0;
+  std::vector<uint8_t> bytes;
+
+  size_t WireSize() const { return bytes.size() + sizeof(uint32_t) * 2; }
+};
+
+}  // namespace megaphone

@@ -1,0 +1,214 @@
+// Configuration updates, the time-versioned routing table, and operator F's
+// control-plane bookkeeping.
+//
+// Megaphone drives migration with a stream of configuration updates
+// (paper §3.3): each update (time, bin, worker) declares that from `time`
+// on, `bin` lives on `worker`. Updates are ordinary timestamped data; the
+// control stream's frontier tells F when the configuration at a time can no
+// longer change, and therefore when records at that time may be routed and
+// migrations initiated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "timely/antichain.hpp"
+#include "timely/operator.hpp"
+
+namespace megaphone {
+
+using BinId = uint32_t;
+
+/// One configuration update: bin -> worker, effective at the update's
+/// stream timestamp.
+struct ControlInst {
+  BinId bin = 0;
+  uint32_t worker = 0;
+
+  friend bool operator==(const ControlInst&, const ControlInst&) = default;
+};
+
+/// Maps the most significant bits of an exchange value to a bin
+/// (paper §4.2: high bits, because low bits feed hash containers).
+inline BinId BinOf(uint64_t exchange_value, uint32_t num_bins) {
+  MEGA_DCHECK((num_bins & (num_bins - 1)) == 0) << "bins must be power of 2";
+  if (num_bins == 1) return 0;
+  // __builtin_ctz(num_bins) == log2(num_bins) for powers of two.
+  return static_cast<BinId>(exchange_value >> (64 - __builtin_ctz(num_bins)));
+}
+
+/// The default (initial) assignment: bin i lives on worker i % workers.
+inline uint32_t InitialOwner(BinId bin, uint32_t workers) {
+  return bin % workers;
+}
+
+/// The configuration function `configuration(time, bin) -> worker`
+/// (paper §3.2), stored as a per-bin history of (time, worker) versions.
+///
+/// Versions must be appended in nondecreasing time order per bin, which is
+/// guaranteed because F integrates control updates in frontier order.
+template <typename T>
+class RoutingTable {
+ public:
+  RoutingTable(uint32_t num_bins, uint32_t workers)
+      : workers_(workers), history_(num_bins) {
+    MEGA_CHECK_GT(num_bins, 0u);
+    MEGA_CHECK((num_bins & (num_bins - 1)) == 0)
+        << "bin count must be a power of two";
+    for (BinId b = 0; b < num_bins; ++b) {
+      history_[b].emplace_back(timely::TimestampTraits<T>::Minimum(),
+                               InitialOwner(b, workers));
+    }
+  }
+
+  uint32_t num_bins() const { return static_cast<uint32_t>(history_.size()); }
+  uint32_t workers() const { return workers_; }
+
+  /// Owner of `bin` for records at time `t`: the latest version with
+  /// effective time ≤ t.
+  uint32_t WorkerAt(const T& t, BinId bin) const {
+    const auto& h = history_[bin];
+    for (auto it = h.rbegin(); it != h.rend(); ++it) {
+      if (timely::TimestampTraits<T>::LessEqual(it->first, t)) {
+        return it->second;
+      }
+    }
+    MEGA_CHECK(false) << "no routing version at or before requested time";
+    return 0;
+  }
+
+  /// Owner of `bin` just before an update at time `t` takes effect: the
+  /// latest version with effective time strictly less than t.
+  uint32_t OwnerBefore(const T& t, BinId bin) const {
+    const auto& h = history_[bin];
+    for (auto it = h.rbegin(); it != h.rend(); ++it) {
+      if (timely::TimestampTraits<T>::LessEqual(it->first, t) &&
+          !(it->first == t)) {
+        return it->second;
+      }
+    }
+    // The initial version is at the minimum time; an update at the minimum
+    // time replaces it, in which case the initial owner is "before".
+    return InitialOwner(bin, workers_);
+  }
+
+  /// Appends a version (time must be ≥ the bin's latest version time).
+  void Apply(const T& t, BinId bin, uint32_t worker) {
+    auto& h = history_[bin];
+    MEGA_CHECK(timely::TimestampTraits<T>::LessEqual(h.back().first, t))
+        << "routing versions must be appended in time order";
+    if (h.back().first == t) {
+      h.back().second = worker;  // later update at the same time wins
+    } else {
+      h.emplace_back(t, worker);
+    }
+  }
+
+  /// Drops versions that can no longer be consulted: every version
+  /// strictly older than the latest version ≤ `t` when both data and
+  /// control frontiers have passed `t`.
+  void Compact(const T& t) {
+    for (auto& h : history_) {
+      size_t keep = 0;
+      for (size_t i = 0; i < h.size(); ++i) {
+        if (timely::TimestampTraits<T>::LessEqual(h[i].first, t)) keep = i;
+      }
+      if (keep > 0) h.erase(h.begin(), h.begin() + static_cast<long>(keep));
+    }
+  }
+
+  /// Total number of stored versions (for tests / introspection).
+  size_t TotalVersions() const {
+    size_t n = 0;
+    for (const auto& h : history_) n += h.size();
+    return n;
+  }
+
+ private:
+  uint32_t workers_;
+  std::vector<std::vector<std::pair<T, uint32_t>>> history_;
+};
+
+/// Operator F's control-plane state: buffered (not yet final) updates, the
+/// routing table, and the queue of migrations this worker must perform.
+/// Shared by the unary and binary Megaphone operators.
+template <typename T>
+class ControlState {
+ public:
+  ControlState(uint32_t num_bins, uint32_t workers, uint32_t my_worker)
+      : routing_(num_bins, workers), me_(my_worker) {}
+
+  RoutingTable<T>& routing() { return routing_; }
+  const RoutingTable<T>& routing() const { return routing_; }
+
+  /// Buffers control updates received at time `t`; retains a capability at
+  /// `t` the first time it is seen (F must be able to emit state at `t`).
+  void Enqueue(timely::OpCtx<T>& ctx, const T& t,
+               std::vector<ControlInst>& updates) {
+    auto [it, inserted] = pending_.emplace(t, std::vector<ControlInst>{});
+    if (inserted) ctx.Retain(t);
+    it->second.insert(it->second.end(), updates.begin(), updates.end());
+  }
+
+  /// Integrates every buffered update whose time is no longer in advance
+  /// of the control frontier: applies it to the routing table and, where
+  /// this worker loses a bin, queues a migration. Releases capabilities
+  /// for times at which this worker has nothing to migrate.
+  void IntegrateFinal(timely::OpCtx<T>& ctx,
+                      const timely::Antichain<T>& control_frontier) {
+    while (!pending_.empty()) {
+      auto it = pending_.begin();
+      const T& t = it->first;
+      if (control_frontier.LessEqual(t)) break;  // still mutable
+      std::vector<std::pair<BinId, uint32_t>> mine;
+      for (const ControlInst& u : it->second) {
+        uint32_t old_owner = routing_.OwnerBefore(t, u.bin);
+        routing_.Apply(t, u.bin, u.worker);
+        if (old_owner == me_ && u.worker != me_) {
+          mine.emplace_back(u.bin, u.worker);
+        }
+      }
+      if (mine.empty()) {
+        ctx.Release(t);  // nothing for this worker to migrate at t
+      } else {
+        migrations_.emplace(t, std::move(mine));
+      }
+      pending_.erase(it);
+    }
+  }
+
+  /// Migrations whose time has been reached by the S output frontier, in
+  /// time order. `ready(t)` decides readiness (probe check); `migrate(t,
+  /// bin, target)` performs the state movement. The capability at `t` is
+  /// released after the whole batch at `t` has been shipped.
+  template <typename ReadyFn, typename MigrateFn>
+  bool RunReadyMigrations(timely::OpCtx<T>& ctx, ReadyFn ready,
+                          MigrateFn migrate) {
+    bool any = false;
+    while (!migrations_.empty()) {
+      auto it = migrations_.begin();
+      const T& t = it->first;
+      if (!ready(t)) break;
+      for (auto& [bin, target] : it->second) migrate(t, bin, target);
+      ctx.Release(t);
+      migrations_.erase(it);
+      any = true;
+    }
+    return any;
+  }
+
+  bool idle() const { return pending_.empty() && migrations_.empty(); }
+  size_t pending_updates() const { return pending_.size(); }
+  size_t pending_migrations() const { return migrations_.size(); }
+
+ private:
+  RoutingTable<T> routing_;
+  uint32_t me_;
+  std::map<T, std::vector<ControlInst>> pending_;
+  std::map<T, std::vector<std::pair<BinId, uint32_t>>> migrations_;
+};
+
+}  // namespace megaphone

@@ -1,0 +1,129 @@
+// The migration controller: an external driver of the control stream.
+//
+// Megaphone deliberately leaves *when* to migrate to an external
+// controller (paper §4.4 — DS2, Dhalion, or Chi could supply the stream).
+// This controller implements the paper's evaluation protocol: it issues a
+// strategy's batches one at a time, awaiting completion of each batch
+// (the S output frontier passing the batch's timestamp) before issuing the
+// next, optionally inserting a drain gap between batches (§4.4).
+//
+// Every worker owns one controller instance and calls Advance() once per
+// driver round; this keeps the control input's frontier ahead of the data
+// frontier on every worker (a requirement for routing to proceed — see
+// stateful.hpp). Only worker 0 actually emits the control records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "megaphone/strategies.hpp"
+#include "timely/input.hpp"
+#include "timely/probe.hpp"
+
+namespace megaphone {
+
+/// Drives one control input for one worker. `T` must be an integral epoch
+/// type (the evaluation uses nanoseconds or round counters).
+template <typename T>
+class MigrationController {
+ public:
+  struct Options {
+    MigrationStrategy strategy = MigrationStrategy::kBatched;
+    /// Bins per batch (kBatched only).
+    size_t batch_size = 64;
+    /// Epochs to wait after a batch completes before issuing the next one,
+    /// letting the system drain enqueued records (paper §4.4). The gap is
+    /// in timestamp units.
+    T gap = 0;
+  };
+
+  MigrationController(timely::Input<ControlInst, T> control,
+                      timely::ProbeHandle<T> probe, uint32_t worker,
+                      Options options)
+      : control_(std::move(control)), probe_(std::move(probe)),
+        worker_(worker), options_(options) {}
+
+  /// Schedules a migration described by its batch sequence. All workers
+  /// must schedule identical migrations in the same order.
+  void Migrate(std::deque<std::vector<ControlInst>> batches) {
+    for (auto& b : batches) pending_batches_.push_back(std::move(b));
+  }
+
+  /// Convenience: plan and schedule the diff from `from` to `to` with the
+  /// configured strategy.
+  void MigrateTo(const Assignment& from, const Assignment& to) {
+    Migrate(PlanBatches(options_.strategy, DiffAssignments(from, to), from,
+                        options_.batch_size));
+  }
+
+  /// Called once per driver round, before data for epoch `now` is sent.
+  /// Issues a due batch at `now` and advances the control epoch to `next`
+  /// (which must satisfy now < next) so records at `now` can be routed.
+  void Advance(const T& now, const T& next) {
+    MEGA_CHECK_LT(now, next);
+    control_->AdvanceTo(std::max(control_->epoch(), now));
+
+    // Completion check for the in-flight batch: the S output frontier has
+    // passed its timestamp.
+    if (in_flight_ && !probe_.LessEqual(*in_flight_)) {
+      in_flight_.reset();
+      not_before_ = now + options_.gap;
+      completed_batches_++;
+    }
+
+    if (!in_flight_ && !pending_batches_.empty() && now >= not_before_) {
+      if (worker_ == 0) {
+        std::vector<ControlInst> batch = pending_batches_.front();
+        control_->SendBatch(std::move(batch));
+      }
+      in_flight_ = now;
+      pending_batches_.pop_front();
+    }
+
+    control_->AdvanceTo(next);
+  }
+
+  /// Flushes all queued batches and closes the control input; call when
+  /// the driver is done. Remaining batches are issued immediately at the
+  /// final epoch (they will complete as the dataflow drains).
+  void Close(const T& now) {
+    control_->AdvanceTo(std::max(control_->epoch(), now));
+    if (worker_ == 0) {
+      while (!pending_batches_.empty()) {
+        std::vector<ControlInst> batch = pending_batches_.front();
+        control_->SendBatch(std::move(batch));
+        pending_batches_.pop_front();
+      }
+    } else {
+      pending_batches_.clear();
+    }
+    control_->Close();
+  }
+
+  /// True while batches remain queued or in flight.
+  bool Migrating() const { return in_flight_ || !pending_batches_.empty(); }
+  size_t completed_batches() const { return completed_batches_; }
+  size_t queued_batches() const { return pending_batches_.size(); }
+  std::optional<T> in_flight_time() const { return in_flight_; }
+
+ private:
+  timely::Input<ControlInst, T> control_;
+  timely::ProbeHandle<T> probe_;
+  uint32_t worker_;
+  Options options_;
+
+  std::deque<std::vector<ControlInst>> pending_batches_;
+  std::optional<T> in_flight_;
+  T not_before_ = TimestampTraits_Minimum();
+  size_t completed_batches_ = 0;
+
+  static T TimestampTraits_Minimum() {
+    return timely::TimestampTraits<T>::Minimum();
+  }
+};
+
+}  // namespace megaphone

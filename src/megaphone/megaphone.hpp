@@ -1,0 +1,10 @@
+// Umbrella header for the Megaphone library: latency-conscious state
+// migration for distributed streaming dataflows (Hoffmann et al., VLDB'19),
+// implemented as a library over the timely engine in src/timely/.
+#pragma once
+
+#include "megaphone/bin.hpp"         // IWYU pragma: export
+#include "megaphone/control.hpp"     // IWYU pragma: export
+#include "megaphone/controller.hpp"  // IWYU pragma: export
+#include "megaphone/stateful.hpp"    // IWYU pragma: export
+#include "megaphone/strategies.hpp"  // IWYU pragma: export

@@ -1,0 +1,714 @@
+// Megaphone's migratable stateful operators (paper §3.4, §4).
+//
+// Each stateful operator L is realized as a pair of dataflow operators:
+//
+//   * F takes the data stream plus the control stream of configuration
+//     updates. It routes records to the worker owning their bin *at the
+//     record's timestamp*, buffering records whose time is still in
+//     advance of the control frontier (the configuration there could still
+//     change). F also initiates migrations: a configuration update at time
+//     t is executed once the S output frontier reaches t — at that point
+//     every record before t has been applied — by uninstalling the bin
+//     from the co-located S, serializing it, and shipping it at time t on
+//     the state channel.
+//
+//   * S hosts the bins. It installs received state immediately, stashes
+//     incoming records per (time, bin), and applies them in timestamp
+//     order once the time is in advance of neither the data-input nor the
+//     state-input frontier. Post-dated records scheduled by the user logic
+//     live inside the bin and migrate with it.
+//
+// Capability discipline: F retains a capability at every buffered control
+// or data time (so S frontiers cannot outrun a planned migration), and S
+// retains one per distinct pending time (so its own output frontier cannot
+// outrun unapplied records). Migration correctness then follows from the
+// frontier conditions alone — there are no locks and no pauses, which is
+// the paper's central claim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "megaphone/bin.hpp"
+#include "megaphone/control.hpp"
+#include "timely/operator.hpp"
+#include "timely/probe.hpp"
+#include "timely/stream.hpp"
+
+namespace megaphone {
+
+/// Configuration of a Megaphone stateful operator.
+struct Config {
+  /// Number of bins; must be a power of two, fixed at construction
+  /// (paper §4.2). 2^12 is the paper's sweet spot.
+  uint32_t num_bins = 256;
+  /// Byte throttle on the state channel, modelling network bandwidth
+  /// (0 = unthrottled). See DESIGN.md substitutions.
+  uint64_t state_bytes_per_sec = 0;
+  /// Operator name (diagnostics).
+  std::string name = "Stateful";
+};
+
+/// A record in flight from F to S, tagged with its destination worker.
+template <typename D>
+struct Routed {
+  uint32_t target = 0;
+  D payload{};
+};
+
+/// Result of constructing a stateful operator: its output stream plus a
+/// probe on the S output frontier. The probe is what controllers use to
+/// await migration completion ("the migration at time t has completed once
+/// the frontier has passed t").
+template <typename R, typename T>
+struct StatefulOutput {
+  timely::Stream<R, T> stream;
+  timely::ProbeHandle<T> probe;
+};
+
+namespace detail {
+
+/// Schedules post-dated records for the bin currently being applied; they
+/// are stored in the bin (and therefore migrate with it).
+template <typename BinT, typename D, typename T,
+          std::map<T, std::vector<D>> BinT::* PendingField>
+class SchedulerImpl {
+ public:
+  SchedulerImpl(BinsShared<BinT, T>* shared, BinT* bin, BinId bin_id,
+                const T* now, timely::OpCtx<T>* ctx, std::set<T>* held)
+      : shared_(shared), bin_(bin), bin_id_(bin_id), now_(now), ctx_(ctx),
+        held_(held) {}
+
+  /// Presents `rec` to the operator again at time `t`, which must be
+  /// strictly in the future.
+  void ScheduleAt(const T& t, D rec) {
+    MEGA_CHECK(timely::InAdvanceOf(t, *now_) && !(t == *now_))
+        << "post-dated records must be strictly in the future";
+    ((*bin_).*PendingField)[t].push_back(std::move(rec));
+    shared_->RegisterPending(t, bin_id_);
+    if (!held_->count(t)) {
+      ctx_->Retain(t);
+      held_->insert(t);
+    }
+  }
+
+ private:
+  BinsShared<BinT, T>* shared_;
+  BinT* bin_;
+  BinId bin_id_;
+  const T* now_;
+  timely::OpCtx<T>* ctx_;
+  std::set<T>* held_;
+};
+
+/// Picks the compaction horizon: the smaller of two frontier minima, if
+/// both are nonempty (totally ordered timestamps assumed for routing-table
+/// compaction, which holds for every dataflow in this repository).
+template <typename T>
+std::optional<T> CompactionHorizon(const timely::Antichain<T>& a,
+                                   const timely::Antichain<T>& b) {
+  if (a.empty() || b.empty()) return std::nullopt;
+  const T& ta = a.elements().front();
+  const T& tb = b.elements().front();
+  return timely::TimestampTraits<T>::LessEqual(ta, tb) ? ta : tb;
+}
+
+/// Extracts `bin` from the shared container for migration: unregisters its
+/// pending times, serializes it, and clears the slot. Returns nullopt for
+/// non-resident (empty) bins — there is nothing to move; the target
+/// creates the bin lazily.
+template <typename BinT, typename T, typename PendingTimesFn>
+std::optional<std::vector<uint8_t>> ExtractBin(BinsShared<BinT, T>& shared,
+                                               BinId bin,
+                                               PendingTimesFn pending_times) {
+  auto& slot = shared.bins[bin];
+  if (!slot) return std::nullopt;
+  pending_times(*slot, [&](const T& t) {
+    auto it = shared.pending_bins.find(t);
+    if (it != shared.pending_bins.end()) it->second.erase(bin);
+    // Empty sets are left for S to erase and release its capability.
+  });
+  std::vector<uint8_t> bytes = EncodeToBytes(*slot);
+  slot.reset();
+  return bytes;
+}
+
+}  // namespace detail
+
+/// Builds a migratable unary stateful operator (paper Listing 1, `unary`).
+///
+///   * `S` — per-bin user state; default-constructible and serde-able.
+///   * `R` — output record type.
+///   * `control` — stream of configuration updates; broadcast to all
+///     workers. Its frontier must be advanced by every worker for routing
+///     to proceed (see MigrationController).
+///   * `key_fn(const D&) -> uint64_t` — the exchange function; the bin is
+///     its most significant bits.
+///   * `fold(time, state, records, emit, scheduler)` — the operator logic,
+///     invoked per (time, bin) with all records for that bin at that time
+///     (input records first, then post-dated records), an `emit(R)`
+///     callable, and a scheduler for post-dated records.
+///
+/// Migration is transparent to `fold`.
+template <typename S, typename R, typename D, typename T, typename KeyFn,
+          typename Fold>
+StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
+                           timely::Stream<D, T> data, KeyFn key_fn, Fold fold,
+                           const Config& cfg) {
+  using BinT = Bin<S, D, T>;
+  using timely::OpCtx;
+  using timely::OperatorBuilder;
+  using timely::Pact;
+
+  timely::Scope<T>& scope = *data.scope();
+  const uint32_t num_bins = cfg.num_bins;
+  MEGA_CHECK((num_bins & (num_bins - 1)) == 0 && num_bins > 0)
+      << "num_bins must be a power of two";
+
+  auto shared = std::make_shared<BinsShared<BinT, T>>(num_bins);
+  auto probe_slot = std::make_shared<timely::ProbeHandle<T>>();
+
+  // ------------------------------------------------------------------ F
+  OperatorBuilder<T> fb(scope, cfg.name + "_F");
+  auto* ctrl_in = fb.AddInput(control, Pact<ControlInst>::Broadcast());
+  auto* data_in = fb.AddInput(data, Pact<D>::Pipeline());
+  auto [routed_out, routed_stream] = fb.template AddOutput<Routed<D>>();
+  auto [state_out, state_stream] = fb.template AddOutput<BinMigration>();
+  if (cfg.state_bytes_per_sec != 0) {
+    state_out->SetThrottle(cfg.state_bytes_per_sec,
+                           [](const BinMigration& m) { return m.WireSize(); });
+  }
+
+  struct FState {
+    FState(uint32_t bins, uint32_t workers, uint32_t me)
+        : cs(bins, workers, me) {}
+    ControlState<T> cs;
+    std::map<T, std::vector<D>> stash;
+    uint64_t steps = 0;
+  };
+  auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
+
+  fb.Build([=](OpCtx<T>& ctx) {
+    auto route_batch = [&](const T& t, std::vector<D>& recs) {
+      for (auto& r : recs) {
+        BinId b = BinOf(key_fn(r), num_bins);
+        uint32_t w = fs->cs.routing().WorkerAt(t, b);
+        routed_out->Send(t, Routed<D>{w, std::move(r)});
+      }
+    };
+
+    // 1. Ingest configuration updates (retain a capability per time: F
+    //    must be able to emit state at that time later).
+    ctrl_in->ForEach([&](const T& t, std::vector<ControlInst>& us) {
+      fs->cs.Enqueue(ctx, t, us);
+    });
+
+    // 2. Updates not in advance of the control frontier are final:
+    //    integrate them into the routing table and queue migrations.
+    fs->cs.IntegrateFinal(ctx, ctrl_in->frontier());
+
+    // 3. Route data; buffer records whose time is in advance of the
+    //    control frontier (their configuration is not yet certain).
+    data_in->ForEach([&](const T& t, std::vector<D>& recs) {
+      if (ctrl_in->frontier().LessEqual(t)) {
+        auto [it, inserted] = fs->stash.emplace(t, std::vector<D>{});
+        if (inserted) ctx.Retain(t);
+        auto& vec = it->second;
+        vec.insert(vec.end(), std::make_move_iterator(recs.begin()),
+                   std::make_move_iterator(recs.end()));
+      } else {
+        route_batch(t, recs);
+      }
+    });
+
+    // 4. Flush buffered records whose configuration has become final.
+    while (!fs->stash.empty()) {
+      auto it = fs->stash.begin();
+      if (ctrl_in->frontier().LessEqual(it->first)) break;
+      route_batch(it->first, it->second);
+      ctx.Release(it->first);
+      fs->stash.erase(it);
+    }
+
+    // 5. Initiate migrations whose time has been reached by the S output
+    //    frontier: every record before that time has been applied.
+    fs->cs.RunReadyMigrations(
+        ctx,
+        [&](const T& t) {
+          MEGA_CHECK(probe_slot->valid());
+          return !probe_slot->LessThan(t);
+        },
+        [&](const T& t, BinId b, uint32_t target) {
+          auto bytes = detail::ExtractBin(
+              *shared, b, [](BinT& bin, auto unregister) {
+                for (const auto& [tp, _] : bin.pending) unregister(tp);
+              });
+          if (bytes) {
+            state_out->Send(t, BinMigration{target, b, std::move(*bytes)});
+          }
+        });
+
+    // 6. Periodically drop routing-table versions behind both frontiers.
+    if ((++fs->steps & 63) == 0) {
+      auto horizon = detail::CompactionHorizon(ctrl_in->frontier(),
+                                               data_in->frontier());
+      if (horizon) fs->cs.routing().Compact(*horizon);
+    }
+  });
+
+  // ------------------------------------------------------------------ S
+  OperatorBuilder<T> sb(scope, cfg.name + "_S");
+  auto* s_data_in = sb.AddInput(
+      routed_stream,
+      Pact<Routed<D>>::Route([](const Routed<D>& r) { return r.target; }));
+  auto* s_state_in = sb.AddInput(
+      state_stream,
+      Pact<BinMigration>::Route([](const BinMigration& m) { return m.target; }));
+  auto [out, out_stream] = sb.template AddOutput<R>();
+
+  struct SState {
+    std::map<T, std::unordered_map<BinId, std::vector<D>>> queue;
+    std::set<T> held;
+  };
+  auto ss = std::make_shared<SState>();
+
+  sb.Build([=](OpCtx<T>& ctx) {
+    auto hold = [&](const T& t) {
+      if (!ss->held.count(t)) {
+        ctx.Retain(t);
+        ss->held.insert(t);
+      }
+    };
+
+    // 1. Install migrated state immediately (paper §3.4: "S immediately
+    //    installs any received state").
+    s_state_in->ForEach([&](const T&, std::vector<BinMigration>& ms) {
+      for (auto& m : ms) {
+        MEGA_CHECK_EQ(m.target, ctx.worker());
+        auto bin = std::make_unique<BinT>(DecodeFromBytes<BinT>(m.bytes));
+        MEGA_CHECK(!shared->bins[m.bin])
+            << "received state for an already-resident bin";
+        for (const auto& [tp, _] : bin->pending) {
+          shared->RegisterPending(tp, m.bin);
+          hold(tp);
+        }
+        shared->bins[m.bin] = std::move(bin);
+      }
+    });
+
+    // 2. Stash incoming records per (time, bin).
+    s_data_in->ForEach([&](const T& t, std::vector<Routed<D>>& recs) {
+      hold(t);
+      auto& by_bin = ss->queue[t];
+      for (auto& r : recs) {
+        MEGA_CHECK_EQ(r.target, ctx.worker());
+        BinId b = BinOf(key_fn(r.payload), num_bins);
+        by_bin[b].push_back(std::move(r.payload));
+      }
+    });
+
+    // 3. Apply, in timestamp order, every time in advance of neither the
+    //    data-input nor the state-input frontier.
+    const auto& f_data = s_data_in->frontier();
+    const auto& f_state = s_state_in->frontier();
+    while (true) {
+      std::optional<T> t;
+      if (!ss->queue.empty()) t = ss->queue.begin()->first;
+      if (!shared->pending_bins.empty()) {
+        const T& tp = shared->pending_bins.begin()->first;
+        if (!t || tp < *t) t = tp;
+      }
+      if (!t || f_data.LessEqual(*t) || f_state.LessEqual(*t)) break;
+
+      // Bins with work at *t: stashed input records and/or pending
+      // post-dated records.
+      std::set<BinId> bins_at_t;
+      auto qit = ss->queue.find(*t);
+      if (qit != ss->queue.end()) {
+        for (const auto& [b, _] : qit->second) bins_at_t.insert(b);
+      }
+      auto pit = shared->pending_bins.find(*t);
+      if (pit != shared->pending_bins.end()) {
+        for (BinId b : pit->second) bins_at_t.insert(b);
+      }
+      for (BinId b : bins_at_t) {
+        auto& slot = shared->bins[b];
+        if (!slot) slot = std::make_unique<BinT>();  // first touch
+        std::vector<D> recs;
+        if (qit != ss->queue.end()) {
+          auto f = qit->second.find(b);
+          if (f != qit->second.end()) recs = std::move(f->second);
+        }
+        auto pf = slot->pending.find(*t);
+        if (pf != slot->pending.end()) {
+          recs.insert(recs.end(),
+                      std::make_move_iterator(pf->second.begin()),
+                      std::make_move_iterator(pf->second.end()));
+          slot->pending.erase(pf);
+        }
+        detail::SchedulerImpl<BinT, D, T, &BinT::pending> sched(
+            shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
+        fold(*t, slot->state, recs,
+             [&](R r) { out->Send(*t, std::move(r)); }, sched);
+      }
+      if (qit != ss->queue.end()) ss->queue.erase(qit);
+      pit = shared->pending_bins.find(*t);
+      if (pit != shared->pending_bins.end()) shared->pending_bins.erase(pit);
+      if (ss->held.count(*t)) {
+        ctx.Release(*t);
+        ss->held.erase(*t);
+      }
+    }
+
+    // 4. Release capabilities whose pending work vanished because F
+    //    extracted the bins holding it (the records migrated away).
+    for (auto it = ss->held.begin(); it != ss->held.end();) {
+      const T& t = *it;
+      bool has_queue = ss->queue.count(t) > 0;
+      auto pit = shared->pending_bins.find(t);
+      bool has_pending =
+          pit != shared->pending_bins.end() && !pit->second.empty();
+      if (pit != shared->pending_bins.end() && pit->second.empty()) {
+        shared->pending_bins.erase(pit);
+      }
+      if (!has_queue && !has_pending) {
+        ctx.Release(t);
+        it = ss->held.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
+
+  auto probe = timely::Probe(out_stream);
+  *probe_slot = probe;
+  return {out_stream, probe};
+}
+
+/// Builds a migratable binary stateful operator (paper Listing 1,
+/// `binary`): two data inputs share one binned state, and the migration
+/// mechanism acts on both inputs at the same time (paper §3.4).
+///
+/// `fold(time, state, records1, records2, emit, scheduler)` receives both
+/// inputs' records for the (time, bin) pair; `scheduler.Schedule1/2`
+/// post-date records for either input.
+template <typename S, typename R, typename D1, typename D2, typename T,
+          typename KeyFn1, typename KeyFn2, typename Fold>
+StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
+                            timely::Stream<D1, T> data1,
+                            timely::Stream<D2, T> data2, KeyFn1 key_fn1,
+                            KeyFn2 key_fn2, Fold fold, const Config& cfg) {
+  using BinT = BinaryBin<S, D1, D2, T>;
+  using timely::OpCtx;
+  using timely::OperatorBuilder;
+  using timely::Pact;
+
+  timely::Scope<T>& scope = *data1.scope();
+  const uint32_t num_bins = cfg.num_bins;
+  MEGA_CHECK((num_bins & (num_bins - 1)) == 0 && num_bins > 0)
+      << "num_bins must be a power of two";
+
+  auto shared = std::make_shared<BinsShared<BinT, T>>(num_bins);
+  auto probe_slot = std::make_shared<timely::ProbeHandle<T>>();
+
+  // ------------------------------------------------------------------ F
+  OperatorBuilder<T> fb(scope, cfg.name + "_F");
+  auto* ctrl_in = fb.AddInput(control, Pact<ControlInst>::Broadcast());
+  auto* data1_in = fb.AddInput(data1, Pact<D1>::Pipeline());
+  auto* data2_in = fb.AddInput(data2, Pact<D2>::Pipeline());
+  auto [routed1_out, routed1_stream] = fb.template AddOutput<Routed<D1>>();
+  auto [routed2_out, routed2_stream] = fb.template AddOutput<Routed<D2>>();
+  auto [state_out, state_stream] = fb.template AddOutput<BinMigration>();
+  if (cfg.state_bytes_per_sec != 0) {
+    state_out->SetThrottle(cfg.state_bytes_per_sec,
+                           [](const BinMigration& m) { return m.WireSize(); });
+  }
+
+  struct FState {
+    FState(uint32_t bins, uint32_t workers, uint32_t me)
+        : cs(bins, workers, me) {}
+    ControlState<T> cs;
+    std::map<T, std::pair<std::vector<D1>, std::vector<D2>>> stash;
+    uint64_t steps = 0;
+  };
+  auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
+
+  fb.Build([=](OpCtx<T>& ctx) {
+    auto route1 = [&](const T& t, std::vector<D1>& recs) {
+      for (auto& r : recs) {
+        BinId b = BinOf(key_fn1(r), num_bins);
+        routed1_out->Send(
+            t, Routed<D1>{fs->cs.routing().WorkerAt(t, b), std::move(r)});
+      }
+    };
+    auto route2 = [&](const T& t, std::vector<D2>& recs) {
+      for (auto& r : recs) {
+        BinId b = BinOf(key_fn2(r), num_bins);
+        routed2_out->Send(
+            t, Routed<D2>{fs->cs.routing().WorkerAt(t, b), std::move(r)});
+      }
+    };
+    auto stash_at = [&](const T& t)
+        -> std::pair<std::vector<D1>, std::vector<D2>>& {
+      auto [it, inserted] = fs->stash.emplace(
+          t, std::pair<std::vector<D1>, std::vector<D2>>{});
+      if (inserted) ctx.Retain(t);
+      return it->second;
+    };
+
+    ctrl_in->ForEach([&](const T& t, std::vector<ControlInst>& us) {
+      fs->cs.Enqueue(ctx, t, us);
+    });
+    fs->cs.IntegrateFinal(ctx, ctrl_in->frontier());
+
+    data1_in->ForEach([&](const T& t, std::vector<D1>& recs) {
+      if (ctrl_in->frontier().LessEqual(t)) {
+        auto& slot = stash_at(t).first;
+        slot.insert(slot.end(), std::make_move_iterator(recs.begin()),
+                    std::make_move_iterator(recs.end()));
+      } else {
+        route1(t, recs);
+      }
+    });
+    data2_in->ForEach([&](const T& t, std::vector<D2>& recs) {
+      if (ctrl_in->frontier().LessEqual(t)) {
+        auto& slot = stash_at(t).second;
+        slot.insert(slot.end(), std::make_move_iterator(recs.begin()),
+                    std::make_move_iterator(recs.end()));
+      } else {
+        route2(t, recs);
+      }
+    });
+
+    while (!fs->stash.empty()) {
+      auto it = fs->stash.begin();
+      if (ctrl_in->frontier().LessEqual(it->first)) break;
+      route1(it->first, it->second.first);
+      route2(it->first, it->second.second);
+      ctx.Release(it->first);
+      fs->stash.erase(it);
+    }
+
+    fs->cs.RunReadyMigrations(
+        ctx,
+        [&](const T& t) {
+          MEGA_CHECK(probe_slot->valid());
+          return !probe_slot->LessThan(t);
+        },
+        [&](const T& t, BinId b, uint32_t target) {
+          auto bytes = detail::ExtractBin(
+              *shared, b, [](BinT& bin, auto unregister) {
+                for (const auto& [tp, _] : bin.pending1) unregister(tp);
+                for (const auto& [tp, _] : bin.pending2) unregister(tp);
+              });
+          if (bytes) {
+            state_out->Send(t, BinMigration{target, b, std::move(*bytes)});
+          }
+        });
+
+    if ((++fs->steps & 63) == 0) {
+      auto horizon = detail::CompactionHorizon(ctrl_in->frontier(),
+                                               data1_in->frontier());
+      if (horizon) {
+        horizon = detail::CompactionHorizon(
+            timely::Antichain<T>({*horizon}), data2_in->frontier());
+      }
+      if (horizon) fs->cs.routing().Compact(*horizon);
+    }
+  });
+
+  // ------------------------------------------------------------------ S
+  OperatorBuilder<T> sb(scope, cfg.name + "_S");
+  auto* s1_in = sb.AddInput(
+      routed1_stream,
+      Pact<Routed<D1>>::Route([](const Routed<D1>& r) { return r.target; }));
+  auto* s2_in = sb.AddInput(
+      routed2_stream,
+      Pact<Routed<D2>>::Route([](const Routed<D2>& r) { return r.target; }));
+  auto* s_state_in = sb.AddInput(
+      state_stream,
+      Pact<BinMigration>::Route([](const BinMigration& m) { return m.target; }));
+  auto [out, out_stream] = sb.template AddOutput<R>();
+
+  struct SState {
+    std::map<T, std::unordered_map<BinId, std::vector<D1>>> queue1;
+    std::map<T, std::unordered_map<BinId, std::vector<D2>>> queue2;
+    std::set<T> held;
+  };
+  auto ss = std::make_shared<SState>();
+
+  sb.Build([=](OpCtx<T>& ctx) {
+    auto hold = [&](const T& t) {
+      if (!ss->held.count(t)) {
+        ctx.Retain(t);
+        ss->held.insert(t);
+      }
+    };
+
+    s_state_in->ForEach([&](const T&, std::vector<BinMigration>& ms) {
+      for (auto& m : ms) {
+        MEGA_CHECK_EQ(m.target, ctx.worker());
+        auto bin = std::make_unique<BinT>(DecodeFromBytes<BinT>(m.bytes));
+        MEGA_CHECK(!shared->bins[m.bin])
+            << "received state for an already-resident bin";
+        for (const auto& [tp, _] : bin->pending1) {
+          shared->RegisterPending(tp, m.bin);
+          hold(tp);
+        }
+        for (const auto& [tp, _] : bin->pending2) {
+          shared->RegisterPending(tp, m.bin);
+          hold(tp);
+        }
+        shared->bins[m.bin] = std::move(bin);
+      }
+    });
+
+    s1_in->ForEach([&](const T& t, std::vector<Routed<D1>>& recs) {
+      hold(t);
+      auto& by_bin = ss->queue1[t];
+      for (auto& r : recs) {
+        by_bin[BinOf(key_fn1(r.payload), num_bins)].push_back(
+            std::move(r.payload));
+      }
+    });
+    s2_in->ForEach([&](const T& t, std::vector<Routed<D2>>& recs) {
+      hold(t);
+      auto& by_bin = ss->queue2[t];
+      for (auto& r : recs) {
+        by_bin[BinOf(key_fn2(r.payload), num_bins)].push_back(
+            std::move(r.payload));
+      }
+    });
+
+    const auto& f1 = s1_in->frontier();
+    const auto& f2 = s2_in->frontier();
+    const auto& fstate = s_state_in->frontier();
+    while (true) {
+      std::optional<T> t;
+      auto consider = [&](const T& cand) {
+        if (!t || cand < *t) t = cand;
+      };
+      if (!ss->queue1.empty()) consider(ss->queue1.begin()->first);
+      if (!ss->queue2.empty()) consider(ss->queue2.begin()->first);
+      if (!shared->pending_bins.empty())
+        consider(shared->pending_bins.begin()->first);
+      if (!t || f1.LessEqual(*t) || f2.LessEqual(*t) || fstate.LessEqual(*t))
+        break;
+
+      std::set<BinId> bins_at_t;
+      auto q1 = ss->queue1.find(*t);
+      auto q2 = ss->queue2.find(*t);
+      if (q1 != ss->queue1.end()) {
+        for (const auto& [b, _] : q1->second) bins_at_t.insert(b);
+      }
+      if (q2 != ss->queue2.end()) {
+        for (const auto& [b, _] : q2->second) bins_at_t.insert(b);
+      }
+      auto pit = shared->pending_bins.find(*t);
+      if (pit != shared->pending_bins.end()) {
+        for (BinId b : pit->second) bins_at_t.insert(b);
+      }
+
+      for (BinId b : bins_at_t) {
+        auto& slot = shared->bins[b];
+        if (!slot) slot = std::make_unique<BinT>();
+        std::vector<D1> recs1;
+        std::vector<D2> recs2;
+        if (q1 != ss->queue1.end()) {
+          auto f = q1->second.find(b);
+          if (f != q1->second.end()) recs1 = std::move(f->second);
+        }
+        if (q2 != ss->queue2.end()) {
+          auto f = q2->second.find(b);
+          if (f != q2->second.end()) recs2 = std::move(f->second);
+        }
+        auto move_pending = [&](auto& pending, auto& recs) {
+          auto pf = pending.find(*t);
+          if (pf != pending.end()) {
+            recs.insert(recs.end(),
+                        std::make_move_iterator(pf->second.begin()),
+                        std::make_move_iterator(pf->second.end()));
+            pending.erase(pf);
+          }
+        };
+        move_pending(slot->pending1, recs1);
+        move_pending(slot->pending2, recs2);
+        detail::SchedulerImpl<BinT, D1, T, &BinT::pending1> sched1(
+            shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
+        detail::SchedulerImpl<BinT, D2, T, &BinT::pending2> sched2(
+            shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
+        struct BothScheds {
+          decltype(sched1)& s1;
+          decltype(sched2)& s2;
+          void Schedule1(const T& t2, D1 r) { s1.ScheduleAt(t2, std::move(r)); }
+          void Schedule2(const T& t2, D2 r) { s2.ScheduleAt(t2, std::move(r)); }
+        } scheds{sched1, sched2};
+        fold(*t, slot->state, recs1, recs2,
+             [&](R r) { out->Send(*t, std::move(r)); }, scheds);
+      }
+      if (q1 != ss->queue1.end()) ss->queue1.erase(q1);
+      if (q2 != ss->queue2.end()) ss->queue2.erase(q2);
+      pit = shared->pending_bins.find(*t);
+      if (pit != shared->pending_bins.end()) shared->pending_bins.erase(pit);
+      if (ss->held.count(*t)) {
+        ctx.Release(*t);
+        ss->held.erase(*t);
+      }
+    }
+
+    for (auto it = ss->held.begin(); it != ss->held.end();) {
+      const T& t = *it;
+      bool has_queue = ss->queue1.count(t) > 0 || ss->queue2.count(t) > 0;
+      auto pit = shared->pending_bins.find(t);
+      bool has_pending =
+          pit != shared->pending_bins.end() && !pit->second.empty();
+      if (pit != shared->pending_bins.end() && pit->second.empty()) {
+        shared->pending_bins.erase(pit);
+      }
+      if (!has_queue && !has_pending) {
+        ctx.Release(t);
+        it = ss->held.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  });
+
+  auto probe = timely::Probe(out_stream);
+  *probe_slot = probe;
+  return {out_stream, probe};
+}
+
+/// Builds the simplest Megaphone interface (paper Listing 1,
+/// `state_machine`): input pairs (key, val), per-key state, and
+/// `fold(key, val, per_key_state, emit)` applied per record. The bin state
+/// is a hash map from key to per-key state, as in the paper's "hash count"
+/// workloads.
+template <typename PerKey, typename R, typename K, typename V, typename T,
+          typename KeyHash, typename Fold>
+StatefulOutput<R, T> StateMachine(timely::Stream<ControlInst, T> control,
+                                  timely::Stream<std::pair<K, V>, T> data,
+                                  KeyHash key_hash, Fold fold,
+                                  const Config& cfg) {
+  using KV = std::pair<K, V>;
+  using BinState = std::unordered_map<K, PerKey>;
+  return Unary<BinState, R>(
+      control, data, [key_hash](const KV& kv) { return key_hash(kv.first); },
+      [fold](const T&, BinState& state, std::vector<KV>& recs, auto emit,
+             auto&) {
+        for (auto& [k, v] : recs) {
+          fold(k, std::move(v), state[k], emit);
+        }
+      },
+      cfg);
+}
+
+}  // namespace megaphone

@@ -1,0 +1,79 @@
+// NEXMark event types (Tucker et al., the benchmark the paper evaluates
+// on): an auction site's stream of new persons, new auctions, and bids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.hpp"
+
+namespace nexmark {
+
+struct Person {
+  uint64_t id = 0;
+  std::string name;
+  std::string city;
+  std::string state;
+  uint64_t date_time = 0;  // event time, ms
+
+  friend bool operator==(const Person&, const Person&) = default;
+
+  void Serialize(megaphone::Writer& w) const {
+    megaphone::Encode(w, id);
+    megaphone::Encode(w, name);
+    megaphone::Encode(w, city);
+    megaphone::Encode(w, state);
+    megaphone::Encode(w, date_time);
+  }
+  static Person Deserialize(megaphone::Reader& r) {
+    Person p;
+    p.id = megaphone::Decode<uint64_t>(r);
+    p.name = megaphone::Decode<std::string>(r);
+    p.city = megaphone::Decode<std::string>(r);
+    p.state = megaphone::Decode<std::string>(r);
+    p.date_time = megaphone::Decode<uint64_t>(r);
+    return p;
+  }
+};
+
+struct Auction {
+  uint64_t id = 0;
+  uint64_t seller = 0;
+  uint32_t category = 0;
+  uint64_t initial_bid = 0;
+  uint64_t reserve = 0;
+  uint64_t date_time = 0;  // event time, ms
+  uint64_t expires = 0;    // event time, ms
+
+  friend bool operator==(const Auction&, const Auction&) = default;
+};
+
+struct Bid {
+  uint64_t auction = 0;
+  uint64_t bidder = 0;
+  uint64_t price = 0;
+  uint64_t date_time = 0;  // event time, ms
+
+  friend bool operator==(const Bid&, const Bid&) = default;
+};
+
+/// A demultiplexed event: exactly one of the three payloads is set,
+/// according to `kind`.
+struct Event {
+  enum class Kind : uint8_t { kPerson, kAuction, kBid };
+  Kind kind = Kind::kBid;
+  Person person;
+  Auction auction;
+  Bid bid;
+
+  uint64_t time_ms() const {
+    switch (kind) {
+      case Kind::kPerson: return person.date_time;
+      case Kind::kAuction: return auction.date_time;
+      case Kind::kBid: return bid.date_time;
+    }
+    return 0;
+  }
+};
+
+}  // namespace nexmark

@@ -1,0 +1,125 @@
+// Deterministic NEXMark event generator.
+//
+// Events are a pure function of their global index, so any worker can
+// generate any stride of the stream independently and two runs with the
+// same configuration produce identical event sequences — the property the
+// correctness tests (native vs Megaphone implementations) rely on.
+//
+// Proportions follow the reference generator: out of every 50 events,
+// 1 is a new person, 3 are new auctions, and 46 are bids (so the number of
+// "active" auctions stays roughly constant, as the paper notes in §5.1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "nexmark/event.hpp"
+
+namespace nexmark {
+
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  /// Out of each 50 consecutive events: 1 person, 3 auctions, 46 bids.
+  static constexpr uint64_t kPersonsPerEpoch = 1;
+  static constexpr uint64_t kAuctionsPerEpoch = 3;
+  static constexpr uint64_t kBidsPerEpoch = 46;
+  static constexpr uint64_t kEpoch = 50;
+
+  /// Bids and sellers are drawn from the most recent `active` entities,
+  /// modelling the benchmark's hot working set.
+  uint64_t active_people = 1000;
+  uint64_t in_flight_auctions = 100;
+  /// Auction lifetime in event-time ms; the dilation knob for Q4/Q6.
+  uint64_t auction_duration_ms = 2000;
+  uint32_t num_categories = 10;
+  /// Event-time ms advance per event: time(i) = i * 1000 / events_per_sec.
+  uint64_t events_per_sec = 10'000;
+};
+
+/// US states, with OR/ID/CA first (the Q3 filter set).
+inline const char* kStates[] = {"OR", "ID", "CA", "WA", "NV", "AZ", "UT", "NM"};
+inline const char* kCities[] = {"Portland", "Boise",   "Sacramento",
+                                "Seattle",  "Reno",    "Phoenix",
+                                "SaltLake", "Santa Fe"};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig cfg = {}) : cfg_(cfg) {}
+
+  const GeneratorConfig& config() const { return cfg_; }
+
+  /// Event time of event index `i`, in ms.
+  uint64_t TimeOf(uint64_t i) const {
+    return i * 1000 / cfg_.events_per_sec;
+  }
+
+  /// Number of person events among indices [0, i).
+  static uint64_t PersonsBefore(uint64_t i) {
+    uint64_t full = i / GeneratorConfig::kEpoch;
+    uint64_t off = i % GeneratorConfig::kEpoch;
+    return full + std::min<uint64_t>(off, GeneratorConfig::kPersonsPerEpoch);
+  }
+
+  /// Number of auction events among indices [0, i).
+  static uint64_t AuctionsBefore(uint64_t i) {
+    uint64_t full = i / GeneratorConfig::kEpoch;
+    uint64_t off = i % GeneratorConfig::kEpoch;
+    uint64_t extra =
+        off <= GeneratorConfig::kPersonsPerEpoch
+            ? 0
+            : std::min(off - GeneratorConfig::kPersonsPerEpoch,
+                       GeneratorConfig::kAuctionsPerEpoch);
+    return full * GeneratorConfig::kAuctionsPerEpoch + extra;
+  }
+
+  /// The event at global index `i` (pure function).
+  Event At(uint64_t i) const {
+    uint64_t off = i % GeneratorConfig::kEpoch;
+    uint64_t t = TimeOf(i);
+    uint64_t h = megaphone::HashMix64(cfg_.seed ^ (i * 0x2545F4914F6CDD1DULL));
+    Event e;
+    if (off < GeneratorConfig::kPersonsPerEpoch) {
+      uint64_t id = PersonsBefore(i);
+      e.kind = Event::Kind::kPerson;
+      e.person.id = id;
+      e.person.name = "person-" + std::to_string(id);
+      e.person.state = kStates[h % 8];
+      e.person.city = kCities[h % 8];
+      e.person.date_time = t;
+    } else if (off < GeneratorConfig::kPersonsPerEpoch +
+                         GeneratorConfig::kAuctionsPerEpoch) {
+      uint64_t id = AuctionsBefore(i);
+      e.kind = Event::Kind::kAuction;
+      e.auction.id = id;
+      e.auction.seller = PickRecent(h, PersonsBefore(i), cfg_.active_people);
+      e.auction.category = static_cast<uint32_t>((h >> 8) % cfg_.num_categories);
+      e.auction.initial_bid = 1 + (h >> 16) % 1000;
+      e.auction.reserve = e.auction.initial_bid + (h >> 24) % 1000;
+      e.auction.date_time = t;
+      e.auction.expires = t + cfg_.auction_duration_ms;
+    } else {
+      e.kind = Event::Kind::kBid;
+      e.bid.auction = PickRecent(h, AuctionsBefore(i), cfg_.in_flight_auctions);
+      e.bid.bidder = PickRecent(h >> 4, PersonsBefore(i), cfg_.active_people);
+      e.bid.price = 1 + (h >> 20) % 10'000;
+      e.bid.date_time = t;
+    }
+    return e;
+  }
+
+ private:
+  /// Picks uniformly among the most recent `window` ids below `count`
+  /// (count is always ≥ 1: event 0 is a person, event 1 an auction).
+  static uint64_t PickRecent(uint64_t h, uint64_t count, uint64_t window) {
+    MEGA_CHECK_GT(count, 0u);
+    uint64_t lo = count > window ? count - window : 0;
+    return lo + h % (count - lo);
+  }
+
+  GeneratorConfig cfg_;
+};
+
+}  // namespace nexmark

@@ -1,0 +1,8 @@
+// Umbrella header for the NEXMark benchmark substrate.
+#pragma once
+
+#include "nexmark/event.hpp"              // IWYU pragma: export
+#include "nexmark/generator.hpp"          // IWYU pragma: export
+#include "nexmark/queries_common.hpp"     // IWYU pragma: export
+#include "nexmark/queries_megaphone.hpp"  // IWYU pragma: export
+#include "nexmark/queries_native.hpp"     // IWYU pragma: export

@@ -1,0 +1,463 @@
+// Native (hand-tuned timely, non-migratable) implementations of the eight
+// NEXMark queries — the paper's "Native" baseline (Table 1, Figs. 5-12).
+// State lives in operator closures partitioned by worker; it cannot move.
+//
+// The `// [Qn-native-begin/end]` markers delimit each query's
+// implementation for the Table 1 lines-of-code comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "nexmark/queries_common.hpp"
+#include "timely/timely.hpp"
+
+namespace nexmark {
+
+using megaphone::HashMix64;
+
+// [Q1-native-begin]
+/// Q1: convert every bid's price to euros (stateless map).
+template <typename T>
+timely::Stream<Q1Out, T> Q1Native(NexmarkStreams<T>& in, const QueryConfig&) {
+  return timely::Map(in.bids, [](Bid b) {
+    b.price = ToEuros(b.price);
+    return b;
+  });
+}
+// [Q1-native-end]
+
+// [Q2-native-begin]
+/// Q2: bids on a selected set of auctions (stateless filter + project).
+template <typename T>
+timely::Stream<Q2Out, T> Q2Native(NexmarkStreams<T>& in, const QueryConfig&) {
+  auto filtered = timely::Filter(in.bids, Q2AuctionFilter);
+  return timely::Map(filtered,
+                     [](Bid b) { return Q2Out{b.auction, b.price}; });
+}
+// [Q2-native-end]
+
+// [Q3-native-begin]
+/// Q3: incremental join of local people (OR/ID/CA) with their category-X
+/// auctions, keyed by person id == auction seller.
+template <typename T>
+timely::Stream<Q3Out, T> Q3Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  auto people = timely::Filter(in.persons, Q3StateFilter);
+  auto auctions = timely::Filter(in.auctions, [cfg](const Auction& a) {
+    return a.category == cfg.q3_category;
+  });
+  timely::OperatorBuilder<T> b(*in.persons.scope(), "Q3NativeJoin");
+  auto* p_in = b.AddInput(
+      people, timely::Pact<Person>::Exchange(
+                  [](const Person& p) { return HashMix64(p.id); }));
+  auto* a_in = b.AddInput(
+      auctions, timely::Pact<Auction>::Exchange(
+                    [](const Auction& a) { return HashMix64(a.seller); }));
+  auto [out, stream] = b.template AddOutput<Q3Out>();
+  auto people_state = std::make_shared<std::unordered_map<uint64_t, Person>>();
+  auto pending = std::make_shared<
+      std::unordered_map<uint64_t, std::vector<uint64_t>>>();
+  b.Build([=](timely::OpCtx<T>&) {
+    p_in->ForEach([&](const T& t, std::vector<Person>& ps) {
+      for (auto& p : ps) {
+        auto it = pending->find(p.id);
+        if (it != pending->end()) {
+          for (uint64_t auction : it->second) {
+            out->Send(t, Q3Out{p.name, p.city, p.state, auction});
+          }
+          pending->erase(it);
+        }
+        (*people_state)[p.id] = std::move(p);
+      }
+    });
+    a_in->ForEach([&](const T& t, std::vector<Auction>& as) {
+      for (auto& a : as) {
+        auto it = people_state->find(a.seller);
+        if (it != people_state->end()) {
+          const Person& p = it->second;
+          out->Send(t, Q3Out{p.name, p.city, p.state, a.id});
+        } else {
+          (*pending)[a.seller].push_back(a.id);
+        }
+      }
+    });
+  });
+  return stream;
+}
+// [Q3-native-end]
+
+// [ClosedAuctions-native-begin]
+/// Shared Q4/Q6 sub-plan: auctions joined with their bids, keyed by
+/// auction id; at each auction's expiry the highest bid received by then
+/// is emitted as the closing price.
+template <typename T>
+timely::Stream<ClosedAuction, T> ClosedAuctionsNative(
+    NexmarkStreams<T>& in, const QueryConfig&) {
+  timely::OperatorBuilder<T> b(*in.auctions.scope(), "Q46NativeClosed");
+  auto* a_in = b.AddInput(
+      in.auctions, timely::Pact<Auction>::Exchange(
+                       [](const Auction& a) { return HashMix64(a.id); }));
+  auto* b_in = b.AddInput(
+      in.bids, timely::Pact<Bid>::Exchange(
+                   [](const Bid& bd) { return HashMix64(bd.auction); }));
+  auto [out, stream] = b.template AddOutput<ClosedAuction>();
+  struct State {
+    std::unordered_map<uint64_t, Auction> open;
+    std::unordered_map<uint64_t, uint64_t> best;
+    std::unordered_map<uint64_t, std::vector<Bid>> early;  // bid before
+                                                           // auction (ties)
+    std::map<T, std::vector<uint64_t>> closing;
+    timely::FrontierNotificator<T> notif;
+  };
+  auto st = std::make_shared<State>();
+  b.Build([=](timely::OpCtx<T>& ctx) {
+    a_in->ForEach([&](const T&, std::vector<Auction>& as) {
+      for (auto& a : as) {
+        st->closing[a.expires].push_back(a.id);
+        st->notif.NotifyAt(ctx, a.expires);
+        auto early = st->early.find(a.id);
+        if (early != st->early.end()) {
+          for (const Bid& bd : early->second) {
+            if (bd.date_time <= a.expires) {
+              auto& best = st->best[a.id];
+              best = std::max(best, bd.price);
+            }
+          }
+          st->early.erase(early);
+        }
+        st->open.emplace(a.id, std::move(a));
+      }
+    });
+    b_in->ForEach([&](const T&, std::vector<Bid>& bs) {
+      for (auto& bd : bs) {
+        auto it = st->open.find(bd.auction);
+        if (it != st->open.end()) {
+          if (bd.date_time <= it->second.expires) {
+            auto& best = st->best[bd.auction];
+            best = std::max(best, bd.price);
+          }
+        } else {
+          st->early[bd.auction].push_back(bd);  // same-time arrival race
+        }
+      }
+    });
+    st->notif.ForEachReady(
+        ctx, {&a_in->frontier(), &b_in->frontier()}, [&](const T& t) {
+          auto it = st->closing.find(t);
+          if (it == st->closing.end()) return;
+          for (uint64_t id : it->second) {
+            const Auction& a = st->open.at(id);
+            uint64_t price = 0;
+            auto best = st->best.find(id);
+            if (best != st->best.end()) price = best->second;
+            out->Send(t, ClosedAuction{a.id, a.seller, a.category, price});
+            st->best.erase(id);
+            st->open.erase(id);
+          }
+          st->closing.erase(it);
+        });
+  });
+  return stream;
+}
+// [ClosedAuctions-native-end]
+
+// [Q4-native-begin]
+/// Q4: running average closing price per category.
+template <typename T>
+timely::Stream<Q4Out, T> Q4Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  auto closed = ClosedAuctionsNative(in, cfg);
+  timely::OperatorBuilder<T> b(*in.auctions.scope(), "Q4NativeAvg");
+  auto* c_in = b.AddInput(
+      closed, timely::Pact<ClosedAuction>::Exchange(
+                  [](const ClosedAuction& c) { return HashMix64(c.category); }));
+  auto [out, stream] = b.template AddOutput<Q4Out>();
+  struct State {
+    std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> sums;
+    std::map<T, std::map<uint32_t, std::vector<uint64_t>>> stash;
+    timely::FrontierNotificator<T> notif;
+  };
+  auto st = std::make_shared<State>();
+  b.Build([=](timely::OpCtx<T>& ctx) {
+    c_in->ForEach([&](const T& t, std::vector<ClosedAuction>& cs) {
+      for (auto& c : cs) st->stash[t][c.category].push_back(c.price);
+      st->notif.NotifyAt(ctx, t);
+    });
+    st->notif.ForEachReady(ctx, {&c_in->frontier()}, [&](const T& t) {
+      auto it = st->stash.find(t);
+      if (it == st->stash.end()) return;
+      for (auto& [cat, prices] : it->second) {
+        auto& [sum, count] = st->sums[cat];
+        for (uint64_t p : prices) sum += p;
+        count += prices.size();
+        out->Send(t, Q4Out{cat, sum / count});
+      }
+      st->stash.erase(it);
+    });
+  });
+  return stream;
+}
+// [Q4-native-end]
+
+// [Q5-native-begin]
+/// Q5: hot items — per sliding window, the auction with the most bids.
+template <typename T>
+timely::Stream<Q5Out, T> Q5Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  const uint64_t slide = cfg.q5_slide_ms, slices = cfg.q5_slices;
+  using Partial = std::tuple<uint64_t, uint64_t, uint64_t>;  // (end, auction,
+                                                             // count)
+  // Stage 1: per-auction bid counts in sliding-window slices.
+  timely::OperatorBuilder<T> b1(*in.bids.scope(), "Q5NativeCount");
+  auto* b_in = b1.AddInput(
+      in.bids, timely::Pact<Bid>::Exchange(
+                   [](const Bid& bd) { return HashMix64(bd.auction); }));
+  auto [p_out, partials] = b1.template AddOutput<Partial>();
+  struct S1 {
+    std::unordered_map<uint64_t, std::map<uint64_t, uint64_t>> slots;
+    std::map<T, std::set<uint64_t>> flush;  // boundary -> auctions
+    timely::FrontierNotificator<T> notif;
+  };
+  auto s1 = std::make_shared<S1>();
+  b1.Build([=](timely::OpCtx<T>& ctx) {
+    b_in->ForEach([&](const T&, std::vector<Bid>& bs) {
+      for (auto& bd : bs) {
+        uint64_t slot = bd.date_time / slide;
+        s1->slots[bd.auction][slot]++;
+        T boundary = (slot + 1) * slide;
+        if (s1->flush[boundary].insert(bd.auction).second) {
+          s1->notif.NotifyAt(ctx, boundary);
+        }
+      }
+    });
+    s1->notif.ForEachReady(ctx, {&b_in->frontier()}, [&](const T& f) {
+      auto it = s1->flush.find(f);
+      if (it == s1->flush.end()) return;
+      uint64_t first_slot = f / slide >= slices ? f / slide - slices : 0;
+      for (uint64_t auction : it->second) {
+        auto& slots = s1->slots[auction];
+        while (!slots.empty() && slots.begin()->first < first_slot) {
+          slots.erase(slots.begin());
+        }
+        // The window [f - slide*slices, f) excludes the slice starting at
+        // f itself (bids at exactly f belong to the next window).
+        uint64_t count = 0;
+        for (auto& [slot, c] : slots) {
+          if (slot < f / slide) count += c;
+        }
+        if (count > 0) p_out->Send(f, Partial{f, auction, count});
+        if (!slots.empty()) {
+          if (s1->flush[f + slide].insert(auction).second) {
+            s1->notif.NotifyAt(ctx, f + slide);
+          }
+        } else {
+          s1->slots.erase(auction);
+        }
+      }
+      s1->flush.erase(it);
+    });
+  });
+  // Stage 2: global argmax per window.
+  timely::OperatorBuilder<T> b2(*in.bids.scope(), "Q5NativeMax");
+  auto* part_in = b2.AddInput(
+      partials, timely::Pact<Partial>::Exchange(
+                    [](const Partial& p) { return HashMix64(std::get<0>(p)); }));
+  auto [out, stream] = b2.template AddOutput<Q5Out>();
+  struct S2 {
+    std::map<T, std::pair<uint64_t, uint64_t>> best;  // window -> (cnt, id)
+    timely::FrontierNotificator<T> notif;
+  };
+  auto s2 = std::make_shared<S2>();
+  b2.Build([=](timely::OpCtx<T>& ctx) {
+    part_in->ForEach([&](const T& t, std::vector<Partial>& ps) {
+      for (auto& [end, auction, count] : ps) {
+        auto [it, inserted] = s2->best.emplace(
+            end, std::pair<uint64_t, uint64_t>{count, auction});
+        if (!inserted) {
+          // Higher count wins; lowest auction id breaks ties.
+          auto cand = std::pair<uint64_t, uint64_t>{count, auction};
+          if (cand.first > it->second.first ||
+              (cand.first == it->second.first &&
+               cand.second < it->second.second)) {
+            it->second = cand;
+          }
+        }
+      }
+      s2->notif.NotifyAt(ctx, t);
+    });
+    s2->notif.ForEachReady(ctx, {&part_in->frontier()}, [&](const T& f) {
+      auto it = s2->best.find(f);
+      if (it == s2->best.end()) return;
+      out->Send(f, Q5Out{f, it->second.second});
+      s2->best.erase(it);
+    });
+  });
+  return stream;
+}
+// [Q5-native-end]
+
+// [Q6-native-begin]
+/// Q6: average closing price of each seller's last ten auctions.
+template <typename T>
+timely::Stream<Q6Out, T> Q6Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  auto closed = ClosedAuctionsNative(in, cfg);
+  timely::OperatorBuilder<T> b(*in.auctions.scope(), "Q6NativeAvg");
+  auto* c_in = b.AddInput(
+      closed, timely::Pact<ClosedAuction>::Exchange(
+                  [](const ClosedAuction& c) { return HashMix64(c.seller); }));
+  auto [out, stream] = b.template AddOutput<Q6Out>();
+  struct State {
+    std::unordered_map<uint64_t, std::vector<uint64_t>> last10;
+    std::map<T, std::map<uint64_t, std::vector<ClosedAuction>>> stash;
+    timely::FrontierNotificator<T> notif;
+  };
+  auto st = std::make_shared<State>();
+  b.Build([=](timely::OpCtx<T>& ctx) {
+    c_in->ForEach([&](const T& t, std::vector<ClosedAuction>& cs) {
+      for (auto& c : cs) st->stash[t][c.seller].push_back(c);
+      st->notif.NotifyAt(ctx, t);
+    });
+    st->notif.ForEachReady(ctx, {&c_in->frontier()}, [&](const T& t) {
+      auto it = st->stash.find(t);
+      if (it == st->stash.end()) return;
+      for (auto& [seller, closures] : it->second) {
+        std::sort(closures.begin(), closures.end());  // by auction id
+        auto& ring = st->last10[seller];
+        for (auto& c : closures) {
+          ring.push_back(c.price);
+          if (ring.size() > 10) ring.erase(ring.begin());
+        }
+        uint64_t sum = 0;
+        for (uint64_t p : ring) sum += p;
+        out->Send(t, Q6Out{seller, sum / ring.size()});
+      }
+      st->stash.erase(it);
+    });
+  });
+  return stream;
+}
+// [Q6-native-end]
+
+// [Q7-native-begin]
+/// Q7: highest bid per tumbling window, with worker-local pre-aggregation
+/// before the global exchange.
+template <typename T>
+timely::Stream<Q7Out, T> Q7Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  const uint64_t window = cfg.q7_window_ms;
+  // Stage 1: worker-local window maxima (Pipeline: no exchange).
+  timely::OperatorBuilder<T> b1(*in.bids.scope(), "Q7NativeLocal");
+  auto* b_in = b1.AddInput(in.bids, timely::Pact<Bid>::Pipeline());
+  auto [p_out, partials] = b1.template AddOutput<Q7Out>();
+  struct S1 {
+    std::map<T, uint64_t> local_max;  // window end -> max price
+    timely::FrontierNotificator<T> notif;
+  };
+  auto s1 = std::make_shared<S1>();
+  b1.Build([=](timely::OpCtx<T>& ctx) {
+    b_in->ForEach([&](const T&, std::vector<Bid>& bs) {
+      for (auto& bd : bs) {
+        T end = (bd.date_time / window + 1) * window;
+        auto [it, inserted] = s1->local_max.emplace(end, bd.price);
+        if (!inserted) it->second = std::max(it->second, bd.price);
+        if (inserted) s1->notif.NotifyAt(ctx, end);
+      }
+    });
+    s1->notif.ForEachReady(ctx, {&b_in->frontier()}, [&](const T& end) {
+      auto it = s1->local_max.find(end);
+      if (it == s1->local_max.end()) return;
+      p_out->Send(end, Q7Out{end, it->second});
+      s1->local_max.erase(it);
+    });
+  });
+  // Stage 2: global maximum across workers.
+  timely::OperatorBuilder<T> b2(*in.bids.scope(), "Q7NativeGlobal");
+  auto* part_in = b2.AddInput(
+      partials, timely::Pact<Q7Out>::Exchange(
+                    [](const Q7Out& p) { return HashMix64(p.first); }));
+  auto [out, stream] = b2.template AddOutput<Q7Out>();
+  auto s2 = std::make_shared<S1>();
+  b2.Build([=](timely::OpCtx<T>& ctx) {
+    part_in->ForEach([&](const T&, std::vector<Q7Out>& ps) {
+      for (auto& [end, price] : ps) {
+        auto [it, inserted] = s2->local_max.emplace(end, price);
+        if (!inserted) it->second = std::max(it->second, price);
+        if (inserted) s2->notif.NotifyAt(ctx, end);
+      }
+    });
+    s2->notif.ForEachReady(ctx, {&part_in->frontier()}, [&](const T& end) {
+      auto it = s2->local_max.find(end);
+      if (it == s2->local_max.end()) return;
+      out->Send(end, Q7Out{end, it->second});
+      s2->local_max.erase(it);
+    });
+  });
+  return stream;
+}
+// [Q7-native-end]
+
+// [Q8-native-begin]
+/// Q8: persons who both registered and sold something in the same
+/// tumbling window.
+template <typename T>
+timely::Stream<Q8Out, T> Q8Native(NexmarkStreams<T>& in,
+                                  const QueryConfig& cfg) {
+  const uint64_t window = cfg.q8_window_ms;
+  timely::OperatorBuilder<T> b(*in.persons.scope(), "Q8NativeJoin");
+  auto* p_in = b.AddInput(
+      in.persons, timely::Pact<Person>::Exchange(
+                      [](const Person& p) { return HashMix64(p.id); }));
+  auto* a_in = b.AddInput(
+      in.auctions, timely::Pact<Auction>::Exchange(
+                       [](const Auction& a) { return HashMix64(a.seller); }));
+  auto [out, stream] = b.template AddOutput<Q8Out>();
+  struct PerPerson {
+    uint64_t window = ~uint64_t{0};
+    std::string name;
+    uint64_t emitted_window = ~uint64_t{0};
+    std::vector<uint64_t> pending_auction_windows;
+  };
+  auto st = std::make_shared<std::unordered_map<uint64_t, PerPerson>>();
+  b.Build([=](timely::OpCtx<T>&) {
+    p_in->ForEach([&](const T& t, std::vector<Person>& ps) {
+      for (auto& p : ps) {
+        auto& s = (*st)[p.id];
+        s.window = p.date_time / window;
+        s.name = p.name;
+        for (uint64_t w : s.pending_auction_windows) {
+          if (w == s.window && s.emitted_window != w) {
+            out->Send(t, Q8Out{p.id, s.name});
+            s.emitted_window = w;
+          }
+        }
+        s.pending_auction_windows.clear();
+      }
+    });
+    a_in->ForEach([&](const T& t, std::vector<Auction>& as) {
+      for (auto& a : as) {
+        auto& s = (*st)[a.seller];
+        uint64_t w = a.date_time / window;
+        if (s.window == w) {
+          if (s.emitted_window != w) {
+            out->Send(t, Q8Out{a.seller, s.name});
+            s.emitted_window = w;
+          }
+        } else if (s.window == ~uint64_t{0}) {
+          s.pending_auction_windows.push_back(w);  // same-time race
+        }
+      }
+    });
+  });
+  return stream;
+}
+// [Q8-native-end]
+
+}  // namespace nexmark

@@ -1,0 +1,140 @@
+// Antichains and counted multisets of timestamps.
+//
+// A frontier (paper Definition 1) is an antichain: a set of mutually
+// incomparable timestamps such that every message still in flight is in
+// advance of some element. Antichain stores such a set; MutableAntichain
+// maintains a multiset of timestamps with (possibly transiently negative)
+// counts and exposes the antichain of its positively counted elements,
+// which is how the progress tracker aggregates pointstamp counts.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "timely/timestamp.hpp"
+
+namespace timely {
+
+/// A minimal set of mutually incomparable timestamps.
+///
+/// The empty antichain means "no timestamps can ever arrive" — i.e. the
+/// stream is complete.
+template <typename T>
+class Antichain {
+ public:
+  Antichain() = default;
+  explicit Antichain(std::vector<T> elements) {
+    for (auto& t : elements) Insert(std::move(t));
+  }
+
+  /// Inserts `t` unless an existing element is ≤ t; removes elements
+  /// dominated by `t`. Returns true if `t` was inserted.
+  bool Insert(T t) {
+    for (const auto& e : elements_) {
+      if (TimestampTraits<T>::LessEqual(e, t) && !(e == t)) return false;
+      if (e == t) return false;
+    }
+    std::erase_if(elements_, [&](const T& e) {
+      return TimestampTraits<T>::LessEqual(t, e);
+    });
+    elements_.push_back(std::move(t));
+    return true;
+  }
+
+  /// True iff `t` is in advance of this frontier: some element e ≤ t.
+  /// For the empty frontier this is false for every t.
+  bool LessEqual(const T& t) const {
+    return std::any_of(elements_.begin(), elements_.end(), [&](const T& e) {
+      return TimestampTraits<T>::LessEqual(e, t);
+    });
+  }
+
+  /// True iff some element is strictly less than `t`.
+  bool LessThan(const T& t) const {
+    return std::any_of(elements_.begin(), elements_.end(), [&](const T& e) {
+      return TimestampTraits<T>::LessEqual(e, t) && !(e == t);
+    });
+  }
+
+  bool empty() const { return elements_.empty(); }
+  const std::vector<T>& elements() const { return elements_; }
+  void Clear() { elements_.clear(); }
+
+  friend bool operator==(const Antichain& a, const Antichain& b) {
+    if (a.elements_.size() != b.elements_.size()) return false;
+    for (const auto& t : a.elements_) {
+      if (std::find(b.elements_.begin(), b.elements_.end(), t) ==
+          b.elements_.end())
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<T> elements_;
+};
+
+/// A multiset of timestamps with signed counts whose positively counted
+/// elements define a frontier.
+///
+/// Counts may be transiently negative while progress updates from different
+/// workers are interleaved (a consumption can be applied before the
+/// corresponding production); the multiset must tolerate this and converge
+/// once all updates are applied. This mirrors timely dataflow's
+/// MutableAntichain.
+template <typename T>
+class MutableAntichain {
+ public:
+  /// Adjusts the count of `t` by `delta`. Returns true if the frontier may
+  /// have changed (callers may then recompute with Frontier()).
+  bool Update(const T& t, int64_t delta) {
+    if (delta == 0) return false;
+    auto it = counts_.find(t);
+    int64_t before = (it == counts_.end()) ? 0 : it->second;
+    int64_t after = before + delta;
+    if (it == counts_.end()) {
+      counts_.emplace(t, after);
+    } else if (after == 0) {
+      counts_.erase(it);
+    } else {
+      it->second = after;
+    }
+    // The frontier can only change when the support of positive counts
+    // changes at t.
+    return (before > 0) != (after > 0);
+  }
+
+  /// The antichain of minimal elements with positive count.
+  Antichain<T> Frontier() const {
+    Antichain<T> result;
+    for (const auto& [t, c] : counts_) {
+      if (c > 0) result.Insert(t);
+    }
+    return result;
+  }
+
+  /// True iff no element has positive count.
+  bool Empty() const {
+    return std::none_of(counts_.begin(), counts_.end(),
+                        [](const auto& kv) { return kv.second > 0; });
+  }
+
+  /// True iff every count is exactly zero (fully drained and consistent).
+  bool AllZero() const { return counts_.empty(); }
+
+  int64_t CountOf(const T& t) const {
+    auto it = counts_.find(t);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  const std::map<T, int64_t>& counts() const { return counts_; }
+
+ private:
+  // std::map requires a total order; for Product timestamps the tie-break
+  // operator< is used purely as a container key order.
+  std::map<T, int64_t> counts_;
+};
+
+}  // namespace timely

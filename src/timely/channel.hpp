@@ -1,0 +1,94 @@
+// Inter-worker data channels.
+//
+// Workers communicate exclusively through channels of timestamped bundles
+// (the shared-nothing discipline of Figure 2 in the paper). A channel has
+// one logical producer port and, per receiving worker, a FIFO queue of
+// bundles. Senders batch records into bundles so queue and progress-tracker
+// synchronization is amortized over ~hundreds of records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace timely {
+
+/// A batch of records sharing one logical timestamp.
+template <typename D, typename T>
+struct Bundle {
+  T time{};
+  std::vector<D> data;
+};
+
+/// A multi-producer channel with one FIFO queue per receiving worker.
+template <typename D, typename T>
+class Channel {
+ public:
+  explicit Channel(uint32_t workers) : queues_(workers) {
+    for (auto& q : queues_) q = std::make_unique<Queue>();
+  }
+
+  void Push(uint32_t target, Bundle<D, T>&& bundle) {
+    MEGA_DCHECK(target < queues_.size());
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->q.push_back(std::move(bundle));
+  }
+
+  /// Pops the next bundle for `worker`; returns false if none queued.
+  bool Pull(uint32_t worker, Bundle<D, T>& out) {
+    MEGA_DCHECK(worker < queues_.size());
+    std::lock_guard<std::mutex> lock(queues_[worker]->mu);
+    if (queues_[worker]->q.empty()) return false;
+    out = std::move(queues_[worker]->q.front());
+    queues_[worker]->q.pop_front();
+    return true;
+  }
+
+  uint32_t workers() const { return static_cast<uint32_t>(queues_.size()); }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<Bundle<D, T>> q;
+  };
+  std::vector<std::unique_ptr<Queue>> queues_;
+};
+
+/// Process-wide registry mapping (dataflow, channel) ids to shared channel
+/// instances. Every worker builds the same dataflow, allocating the same
+/// channel ids in the same order; the first to ask creates the channel.
+class ChannelRegistry {
+ public:
+  template <typename C>
+  std::shared_ptr<C> GetOrCreate(uint64_t dataflow_id, uint64_t channel_id,
+                                 uint32_t workers) {
+    uint64_t key = (dataflow_id << 32) | channel_id;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(key);
+    if (it != channels_.end()) {
+      MEGA_CHECK(it->second.type == std::type_index(typeid(C)))
+          << "channel type mismatch between workers";
+      return std::static_pointer_cast<C>(it->second.ptr);
+    }
+    auto ch = std::make_shared<C>(workers);
+    channels_.emplace(key,
+                      Entry{std::type_index(typeid(C)), ch});
+    return ch;
+  }
+
+ private:
+  struct Entry {
+    std::type_index type;
+    std::shared_ptr<void> ptr;
+  };
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> channels_;
+};
+
+}  // namespace timely

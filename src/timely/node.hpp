@@ -1,0 +1,31 @@
+// Dataflow node interfaces.
+#pragma once
+
+#include <cstdint>
+
+namespace timely {
+
+template <typename T>
+class DataflowInstance;
+
+/// A worker-local operator instance. Workers repeatedly call Schedule on
+/// every node; a node drains its inputs, runs user logic, flushes outputs,
+/// and atomically publishes its progress changes.
+template <typename T>
+class NodeBase {
+ public:
+  virtual ~NodeBase() = default;
+  /// Returns true if the node did any work (used for idle backoff).
+  virtual bool Schedule(DataflowInstance<T>& df) = 0;
+};
+
+/// Anything with buffered output that must be flushed at step end (output
+/// handles, throttled senders).
+class Flushable {
+ public:
+  virtual ~Flushable() = default;
+  /// Flushes buffers; returns true if anything moved.
+  virtual bool Flush() = 0;
+};
+
+}  // namespace timely

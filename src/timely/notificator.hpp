@@ -1,0 +1,60 @@
+// Frontier-driven notifications for native operators.
+//
+// An operator that must act "once all input up to time t has arrived"
+// (window triggers, deferred aggregation) requests a notification at t.
+// The notificator retains a capability so downstream frontiers cannot
+// advance past t, and delivers t once no input frontier could still
+// produce records at times ≤ t.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "timely/antichain.hpp"
+#include "timely/operator.hpp"
+
+namespace timely {
+
+template <typename T>
+class FrontierNotificator {
+ public:
+  /// Requests a notification at `t`. Must be called while capable of `t`
+  /// (i.e. while processing a message at time ≤ t or holding a capability).
+  void NotifyAt(OpCtx<T>& ctx, const T& t) {
+    auto [it, inserted] = pending_.emplace(t, 0);
+    if (inserted) ctx.Retain(t);
+    it->second++;
+  }
+
+  /// Delivers `f(t)` once per requested time whose delivery is enabled by
+  /// all supplied input frontiers, releasing the capability afterwards.
+  template <typename F>
+  void ForEachReady(OpCtx<T>& ctx,
+                    const std::vector<const Antichain<T>*>& frontiers, F f) {
+    // Collect first: f may request further notifications.
+    std::vector<T> ready;
+    for (const auto& [t, n] : pending_) {
+      bool blocked = false;
+      for (const auto* fr : frontiers) {
+        if (fr->LessEqual(t)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) ready.push_back(t);
+    }
+    for (const T& t : ready) {
+      pending_.erase(t);
+      f(t);
+      ctx.Release(t);
+    }
+  }
+
+  bool empty() const { return pending_.empty(); }
+  size_t size() const { return pending_.size(); }
+
+ private:
+  std::map<T, int64_t> pending_;
+};
+
+}  // namespace timely

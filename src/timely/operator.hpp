@@ -1,0 +1,477 @@
+// Operator construction: parallelization contracts, typed input/output
+// handles, capability management, and the operator builder.
+//
+// The shapes here mirror timely dataflow's generic operator interface: a
+// builder on which typed inputs (each with a parallelization contract
+// deciding which worker receives each record) and typed outputs are
+// declared, then a logic closure that is scheduled repeatedly. Capabilities
+// follow timely's discipline: a message at time t received this scheduling
+// step grants the right to send at times ≥ t and to retain an explicit
+// capability at times ≥ t; explicit capabilities must be retained to defer
+// output to a later step and released when done, which is what lets
+// downstream frontiers advance.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rate_limiter.hpp"
+#include "common/time_util.hpp"
+#include "timely/channel.hpp"
+#include "timely/node.hpp"
+#include "timely/stream.hpp"
+#include "timely/worker.hpp"
+
+namespace timely {
+
+/// Parallelization contract: decides the receiving worker for each record
+/// on a channel.
+template <typename D>
+struct Pact {
+  enum class Kind { kPipeline, kExchange, kBroadcast, kRoute };
+
+  Kind kind = Kind::kPipeline;
+  std::function<uint64_t(const D&)> hash;   // kExchange: target = hash % W
+  std::function<uint32_t(const D&)> route;  // kRoute: explicit worker id
+
+  /// Records stay on the sending worker.
+  static Pact Pipeline() { return Pact{Kind::kPipeline, nullptr, nullptr}; }
+  /// Records are partitioned by a hash of their content.
+  static Pact Exchange(std::function<uint64_t(const D&)> h) {
+    return Pact{Kind::kExchange, std::move(h), nullptr};
+  }
+  /// Every record is delivered to every worker (requires copyable D).
+  static Pact Broadcast() { return Pact{Kind::kBroadcast, nullptr, nullptr}; }
+  /// Records carry their destination worker explicitly.
+  static Pact Route(std::function<uint32_t(const D&)> r) {
+    return Pact{Kind::kRoute, nullptr, std::move(r)};
+  }
+};
+
+template <typename T>
+class OpCtx;
+
+/// Typed output port handle. Owns per-channel, per-target buffers; flushing
+/// a buffer first applies the `produced` count to the progress tracker and
+/// only then makes the bundle visible in the channel (the safety order).
+///
+/// An optional byte throttle models network bandwidth: flushed bundles are
+/// counted immediately (they occupy sender memory, as serialized state does
+/// in the paper's Fig. 20) but enter the channel only as the token bucket
+/// admits them.
+template <typename D, typename T>
+class OutputHandle final : public Flushable {
+ public:
+  OutputHandle(ProgressTracker<T>* tracker, uint32_t worker, uint32_t peers,
+               OpCtx<T>* cap_ctx)
+      : tracker_(tracker), worker_(worker), peers_(peers), cap_ctx_(cap_ctx) {}
+
+  /// Build-time: connect a consumer channel with its contract and the
+  /// location of the consumer's input port.
+  void Attach(std::shared_ptr<Channel<D, T>> chan, Pact<D> pact,
+              uint32_t dst_loc) {
+    attachments_.push_back(Attachment{std::move(chan), std::move(pact),
+                                      dst_loc,
+                                      std::vector<Bundle<D, T>>(peers_)});
+  }
+
+  /// Enables byte throttling (bytes_per_sec == 0 disables). `size_of`
+  /// estimates the wire size of one record.
+  void SetThrottle(uint64_t bytes_per_sec,
+                   std::function<size_t(const D&)> size_of) {
+    throttle_.emplace(bytes_per_sec);
+    size_of_ = std::move(size_of);
+  }
+
+  void Send(const T& time, D item) {
+    DebugCheckMaySend(time);
+    for (size_t a = 0; a < attachments_.size(); ++a) {
+      bool last = (a + 1 == attachments_.size());
+      RouteIntoBuffers(attachments_[a], time, item, last);
+    }
+  }
+
+  /// Sends every element of `items` at `time`.
+  void SendBatch(const T& time, std::vector<D>&& items) {
+    DebugCheckMaySend(time);
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t a = 0; a < attachments_.size(); ++a) {
+        bool last = (a + 1 == attachments_.size());
+        if (last && i + 1 == items.size()) {
+          RouteIntoBuffers(attachments_[a], time, items[i], true);
+        } else {
+          RouteIntoBuffers(attachments_[a], time, items[i], false);
+        }
+      }
+    }
+    items.clear();
+  }
+
+  bool Flush() override {
+    bool any = false;
+    for (auto& att : attachments_) {
+      for (uint32_t w = 0; w < peers_; ++w) {
+        if (!att.buffers[w].data.empty()) {
+          FlushBuffer(att, w);
+          any = true;
+        }
+      }
+    }
+    any |= DrainPending();
+    return any;
+  }
+
+  /// Bytes currently held by the throttle queue (sender-side memory).
+  size_t PendingThrottledBytes() const { return pending_bytes_; }
+
+ private:
+  struct Attachment {
+    std::shared_ptr<Channel<D, T>> chan;
+    Pact<D> pact;
+    uint32_t dst_loc;
+    std::vector<Bundle<D, T>> buffers;  // per target worker
+  };
+
+  static constexpr size_t kBatch = 1024;
+
+  void DebugCheckMaySend(const T& time);
+
+  void RouteIntoBuffers(Attachment& att, const T& time, D& item, bool may_move) {
+    switch (att.pact.kind) {
+      case Pact<D>::Kind::kPipeline:
+        Append(att, worker_, time, item, may_move);
+        break;
+      case Pact<D>::Kind::kExchange: {
+        uint32_t w = static_cast<uint32_t>(att.pact.hash(item) % peers_);
+        Append(att, w, time, item, may_move);
+        break;
+      }
+      case Pact<D>::Kind::kBroadcast:
+        for (uint32_t w = 0; w < peers_; ++w) {
+          Append(att, w, time, item, may_move && (w + 1 == peers_));
+        }
+        break;
+      case Pact<D>::Kind::kRoute: {
+        uint32_t w = att.pact.route(item);
+        MEGA_DCHECK(w < peers_);
+        Append(att, w, time, item, may_move);
+        break;
+      }
+    }
+  }
+
+  void Append(Attachment& att, uint32_t target, const T& time, D& item,
+              bool may_move) {
+    auto& buf = att.buffers[target];
+    if (!buf.data.empty() && !(buf.time == time)) FlushBuffer(att, target);
+    if (buf.data.empty()) buf.time = time;
+    if (may_move) {
+      buf.data.push_back(std::move(item));
+    } else {
+      buf.data.push_back(item);
+    }
+    if (buf.data.size() >= kBatch) FlushBuffer(att, target);
+  }
+
+  void FlushBuffer(Attachment& att, uint32_t target) {
+    auto& buf = att.buffers[target];
+    if (buf.data.empty()) return;
+    // Count production before the bundle becomes visible anywhere.
+    tracker_->ApplyOne(att.dst_loc, buf.time,
+                       static_cast<int64_t>(buf.data.size()));
+    Bundle<D, T> bundle;
+    bundle.time = buf.time;
+    bundle.data = std::move(buf.data);
+    buf.data.clear();
+    if (!throttle_) {
+      att.chan->Push(target, std::move(bundle));
+    } else {
+      size_t bytes = 0;
+      for (const auto& d : bundle.data) bytes += size_of_(d);
+      pending_bytes_ += bytes;
+      size_t att_idx = static_cast<size_t>(&att - attachments_.data());
+      pending_.push_back(PendingBundle{att_idx, target, bytes,
+                                       std::move(bundle)});
+      DrainPending();
+    }
+  }
+
+  bool DrainPending() {
+    if (!throttle_) return false;
+    bool any = false;
+    uint64_t now = megaphone::NowNanos();
+    while (!pending_.empty() &&
+           throttle_->Admit(pending_.front().bytes, now)) {
+      auto& p = pending_.front();
+      pending_bytes_ -= p.bytes;
+      attachments_[p.att_idx].chan->Push(p.target, std::move(p.bundle));
+      pending_.pop_front();
+      any = true;
+    }
+    return any;
+  }
+
+  struct PendingBundle {
+    size_t att_idx;
+    uint32_t target;
+    size_t bytes;
+    Bundle<D, T> bundle;
+  };
+
+  ProgressTracker<T>* tracker_;
+  uint32_t worker_;
+  uint32_t peers_;
+  OpCtx<T>* cap_ctx_;  // nullable (input handles have no operator context)
+  std::vector<Attachment> attachments_;
+  std::optional<megaphone::ByteThrottle> throttle_;
+  std::function<size_t(const D&)> size_of_;
+  std::deque<PendingBundle> pending_;
+  size_t pending_bytes_ = 0;
+};
+
+/// Typed input port handle: drains queued bundles and exposes the port's
+/// frontier.
+template <typename D, typename T>
+class InputHandle {
+ public:
+  InputHandle(std::shared_ptr<Channel<D, T>> chan, uint32_t loc,
+              int32_t port_idx, DataflowInstance<T>* df, OpCtx<T>* ctx)
+      : chan_(std::move(chan)),
+        loc_(loc),
+        port_idx_(port_idx),
+        df_(df),
+        ctx_(ctx) {}
+
+  /// Calls `f(time, data)` for every queued bundle, recording consumption.
+  /// `data` may be consumed destructively. Returns true if any bundle was
+  /// delivered.
+  template <typename F>
+  bool ForEach(F f) {
+    Bundle<D, T> bundle;
+    bool any = false;
+    while (chan_->Pull(df_->worker_index(), bundle)) {
+      ctx_->RecordConsumed(loc_, bundle.time,
+                           static_cast<int64_t>(bundle.data.size()));
+      f(bundle.time, bundle.data);
+      any = true;
+    }
+    return any;
+  }
+
+  /// The frontier of this input: timestamps that may still arrive here.
+  const Antichain<T>& frontier() const {
+    return df_->FrontierOfPort(port_idx_);
+  }
+
+  uint32_t loc() const { return loc_; }
+
+ private:
+  std::shared_ptr<Channel<D, T>> chan_;
+  uint32_t loc_;
+  int32_t port_idx_;
+  DataflowInstance<T>* df_;
+  OpCtx<T>* ctx_;
+};
+
+/// Per-node operator context: capability accounting and the end-of-step
+/// progress batch.
+template <typename T>
+class OpCtx {
+ public:
+  OpCtx(DataflowInstance<T>* df, std::string name)
+      : df_(df), name_(std::move(name)) {}
+
+  uint32_t worker() const { return df_->worker_index(); }
+  uint32_t peers() const { return df_->peers(); }
+  const std::string& name() const { return name_; }
+
+  /// Retains an explicit capability at `t` on every output of this node.
+  /// Legal if `t` is in advance of a held capability or of a message time
+  /// consumed this step.
+  void Retain(const T& t) {
+    MEGA_DCHECK(MaySend(t)) << "Retain at non-capable time in " << name_;
+    caps_[t]++;
+    for (uint32_t loc : output_locs_) {
+      end_changes_.push_back(Change<T>{loc, t, +1});
+    }
+  }
+
+  /// Releases one previously retained capability at `t`.
+  void Release(const T& t) {
+    auto it = caps_.find(t);
+    MEGA_CHECK(it != caps_.end() && it->second > 0)
+        << "Release without capability in " << name_;
+    if (--it->second == 0) caps_.erase(it);
+    for (uint32_t loc : output_locs_) {
+      end_changes_.push_back(Change<T>{loc, t, -1});
+    }
+  }
+
+  bool HasCap(const T& t) const { return caps_.count(t) > 0; }
+  const std::map<T, int64_t>& caps() const { return caps_; }
+  const std::vector<uint32_t>& output_locs() const { return output_locs_; }
+
+  /// True if the node may currently produce output at time `t`.
+  bool MaySend(const T& t) const {
+    for (const auto& [ct, n] : caps_) {
+      if (n > 0 && TimestampTraits<T>::LessEqual(ct, t)) return true;
+    }
+    for (const auto& st : step_times_) {
+      if (TimestampTraits<T>::LessEqual(st, t)) return true;
+    }
+    return false;
+  }
+
+  // --- engine internals -----------------------------------------------
+
+  void RecordConsumed(uint32_t loc, const T& time, int64_t count) {
+    step_times_.push_back(time);
+    end_changes_.push_back(Change<T>{loc, time, -count});
+    consumed_any_ = true;
+  }
+
+  void AddOutputLoc(uint32_t loc) { output_locs_.push_back(loc); }
+  DataflowInstance<T>* df() { return df_; }
+
+  void BeginStep() {
+    consumed_any_ = false;
+  }
+
+  /// Applies the step's progress batch; returns whether the step did work.
+  bool EndStep() {
+    bool active = consumed_any_ || !end_changes_.empty();
+    if (!end_changes_.empty()) {
+      df_->tracker().Apply(std::span<const Change<T>>(end_changes_.data(),
+                                                      end_changes_.size()));
+      end_changes_.clear();
+    }
+    step_times_.clear();
+    consumed_any_ = false;
+    return active;
+  }
+
+ private:
+  DataflowInstance<T>* df_;
+  std::string name_;
+  std::vector<uint32_t> output_locs_;
+  std::map<T, int64_t> caps_;
+  std::vector<T> step_times_;
+  std::vector<Change<T>> end_changes_;
+  bool consumed_any_ = false;
+};
+
+template <typename D, typename T>
+void OutputHandle<D, T>::DebugCheckMaySend(const T& time) {
+  MEGA_DCHECK(cap_ctx_ == nullptr || cap_ctx_->MaySend(time))
+      << "Send at non-capable time";
+  (void)time;
+}
+
+/// The generic operator node: runs user logic, then flushes outputs, then
+/// publishes the progress batch.
+template <typename T>
+class OperatorNode final : public NodeBase<T> {
+ public:
+  OperatorNode(DataflowInstance<T>* df, std::string name)
+      : ctx_(df, std::move(name)) {}
+
+  bool Schedule(DataflowInstance<T>&) override {
+    ctx_.BeginStep();
+    if (logic_) logic_(ctx_);
+    bool active = false;
+    for (auto* f : flushables_) active |= f->Flush();
+    active |= ctx_.EndStep();
+    return active;
+  }
+
+  OpCtx<T>& ctx() { return ctx_; }
+  void set_logic(std::function<void(OpCtx<T>&)> logic) {
+    logic_ = std::move(logic);
+  }
+  void AddFlushable(Flushable* f) { flushables_.push_back(f); }
+  void Own(std::shared_ptr<void> p) { owned_.push_back(std::move(p)); }
+
+ private:
+  OpCtx<T> ctx_;
+  std::function<void(OpCtx<T>&)> logic_;
+  std::vector<Flushable*> flushables_;
+  std::vector<std::shared_ptr<void>> owned_;
+};
+
+/// Declarative construction of one operator node.
+///
+///   OperatorBuilder<uint64_t> b(scope, "WordCount");
+///   auto* in = b.AddInput(words, Pact<Word>::Exchange(hash));
+///   auto [out, stream] = b.AddOutput<Count>();
+///   b.Build([=](OpCtx<uint64_t>& ctx) { ... in->ForEach(...) ... });
+template <typename T>
+class OperatorBuilder {
+ public:
+  OperatorBuilder(Scope<T>& scope, std::string name) : scope_(&scope) {
+    node_id_ = scope_->ReserveNode(name);
+    node_ = std::make_unique<OperatorNode<T>>(scope_->df(), std::move(name));
+  }
+
+  /// Declares a typed input fed from `stream` under contract `pact`. All
+  /// inputs must be declared before any output.
+  template <typename D>
+  InputHandle<D, T>* AddInput(Stream<D, T> stream, Pact<D> pact) {
+    MEGA_CHECK(stream.valid());
+    auto [loc, port_idx] = scope_->AddInputPort(node_id_);
+    scope_->AddEdge(stream.loc(), loc);
+    auto chan =
+        scope_->template GetChannel<Channel<D, T>>();
+    stream.output()->Attach(chan, std::move(pact), loc);
+    auto handle = std::make_shared<InputHandle<D, T>>(
+        std::move(chan), loc, port_idx, scope_->df(), &node_->ctx());
+    auto* raw = handle.get();
+    node_->Own(std::move(handle));
+    return raw;
+  }
+
+  /// Declares a typed output; returns the handle (for the logic closure)
+  /// and the stream (for downstream consumers).
+  template <typename D>
+  std::pair<OutputHandle<D, T>*, Stream<D, T>> AddOutput() {
+    uint32_t loc = scope_->AddOutputPort(node_id_);
+    node_->ctx().AddOutputLoc(loc);
+    auto handle = std::make_shared<OutputHandle<D, T>>(
+        &scope_->df()->tracker(), scope_->worker(), scope_->peers(),
+        &node_->ctx());
+    auto* raw = handle.get();
+    node_->AddFlushable(raw);
+    node_->Own(std::move(handle));
+    return {raw, Stream<D, T>(scope_, raw, loc)};
+  }
+
+  /// Finalizes the node with its logic closure and installs it.
+  void Build(std::function<void(OpCtx<T>&)> logic) {
+    if (node_->ctx().output_locs().empty()) {
+      // Output-less nodes (sinks) still need their retained capabilities
+      // visible to the progress tracker, or the dataflow could be declared
+      // complete while a notification is pending. A phantom output port
+      // that feeds no channel counts capabilities without affecting any
+      // frontier.
+      uint32_t loc = scope_->AddOutputPort(node_id_);
+      node_->ctx().AddOutputLoc(loc);
+    }
+    node_->set_logic(std::move(logic));
+    scope_->df()->AddNode(std::move(node_));
+  }
+
+ private:
+  Scope<T>* scope_;
+  uint32_t node_id_;
+  std::unique_ptr<OperatorNode<T>> node_;
+};
+
+}  // namespace timely

@@ -1,0 +1,332 @@
+// Progress tracking: pointstamp counts, reachability, and frontiers.
+//
+// Timely dataflow coordination rests on a single piece of shared knowledge:
+// for every (location, timestamp) pair, how many messages or capabilities
+// are still outstanding. From these counts and the dataflow graph's
+// reachability relation, each input port's frontier (paper Definition 1) is
+// derived: the antichain of timestamps that may still arrive there.
+//
+// The original system broadcasts count deltas between workers; since this
+// reproduction runs workers as threads of one process, the tracker is a
+// shared structure with a short-critical-section mutex. The safety protocol
+// is the standard one:
+//   * a producer applies its `produced` increment BEFORE a message becomes
+//     visible in a channel queue,
+//   * a consumer applies its `consumed` decrement and any capability
+//     changes in one atomic batch at the end of an operator scheduling
+//     step, after flushing everything the step produced.
+// Under this discipline counts never go transiently negative and frontiers
+// never advance past live work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "timely/antichain.hpp"
+#include "timely/timestamp.hpp"
+
+namespace timely {
+
+/// A single pointstamp count delta at a graph location.
+template <typename T>
+struct Change {
+  uint32_t loc;
+  T time;
+  int64_t delta;
+};
+
+/// Structural description of a dataflow graph, built identically by every
+/// worker during dataflow construction.
+///
+/// Locations are dense ids: node `i`'s input port `j` is at
+/// `node_base[i] + j`, and its output port `j` at
+/// `node_base[i] + inputs_i + j`. Ports must be added inputs-first and one
+/// node at a time so bases never shift.
+class GraphSpec {
+ public:
+  struct NodeSpec {
+    std::string name;
+    uint32_t inputs = 0;
+    uint32_t outputs = 0;
+    bool sealed = false;
+  };
+
+  /// Starts a new node; the previous node (if any) is sealed.
+  uint32_t AddNode(std::string name) {
+    if (!nodes_.empty()) nodes_.back().sealed = true;
+    nodes_.push_back(NodeSpec{std::move(name), 0, 0, false});
+    node_base_.push_back(next_loc_);
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  /// Adds an input port to the (latest) node; returns its location.
+  uint32_t AddInputPort(uint32_t node) {
+    MEGA_CHECK_EQ(node, nodes_.size() - 1) << "ports on latest node only";
+    MEGA_CHECK(!nodes_[node].sealed);
+    MEGA_CHECK_EQ(nodes_[node].outputs, 0u)
+        << "all inputs must be added before any output";
+    uint32_t loc = node_base_[node] + nodes_[node].inputs;
+    nodes_[node].inputs++;
+    next_loc_++;
+    return loc;
+  }
+
+  /// Adds an output port to the (latest) node; returns its location.
+  uint32_t AddOutputPort(uint32_t node) {
+    MEGA_CHECK_EQ(node, nodes_.size() - 1) << "ports on latest node only";
+    MEGA_CHECK(!nodes_[node].sealed);
+    uint32_t loc = node_base_[node] + nodes_[node].inputs +
+                   nodes_[node].outputs;
+    nodes_[node].outputs++;
+    next_loc_++;
+    return loc;
+  }
+
+  /// Records a channel edge from an output-port location to an input-port
+  /// location.
+  void AddEdge(uint32_t src_loc, uint32_t dst_loc) {
+    edges_.emplace_back(src_loc, dst_loc);
+  }
+
+  uint32_t num_locations() const { return next_loc_; }
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  const std::vector<uint32_t>& node_base() const { return node_base_; }
+  const std::vector<std::pair<uint32_t, uint32_t>>& edges() const {
+    return edges_;
+  }
+
+  /// True if `loc` is an input port of some node.
+  bool IsInputLoc(uint32_t loc) const {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (loc >= node_base_[i] && loc < node_base_[i] + nodes_[i].inputs)
+        return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<NodeSpec> nodes_;
+  std::vector<uint32_t> node_base_;
+  std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  uint32_t next_loc_ = 0;
+};
+
+/// Shared pointstamp accounting and frontier computation for one dataflow.
+template <typename T>
+class ProgressTracker {
+ public:
+  /// Installs the graph. The first caller wins; later callers must present
+  /// a structurally identical spec (all workers build the same dataflow).
+  void Finalize(const GraphSpec& spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finalized_) {
+      MEGA_CHECK_EQ(spec.num_locations(), num_locs_)
+          << "workers built structurally different dataflows";
+      return;
+    }
+    num_locs_ = spec.num_locations();
+    counts_.resize(num_locs_);
+    loc_frontier_.resize(num_locs_);
+    port_index_of_loc_.assign(num_locs_, -1);
+
+    // Adjacency: internal edges input->outputs plus channel edges.
+    std::vector<std::vector<uint32_t>> adj(num_locs_);
+    const auto& nodes = spec.nodes();
+    const auto& base = spec.node_base();
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      for (uint32_t i = 0; i < nodes[n].inputs; ++i) {
+        for (uint32_t o = 0; o < nodes[n].outputs; ++o) {
+          adj[base[n] + i].push_back(base[n] + nodes[n].inputs + o);
+        }
+      }
+    }
+    for (const auto& [src, dst] : spec.edges()) {
+      MEGA_CHECK_LT(src, num_locs_);
+      MEGA_CHECK_LT(dst, num_locs_);
+      adj[src].push_back(dst);
+    }
+    CheckAcyclic(adj);
+
+    // Dense indices for input-port locations.
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      for (uint32_t i = 0; i < nodes[n].inputs; ++i) {
+        uint32_t loc = base[n] + i;
+        port_index_of_loc_[loc] =
+            static_cast<int32_t>(input_port_locs_.size());
+        input_port_locs_.push_back(loc);
+      }
+    }
+    port_frontier_.resize(input_port_locs_.size());
+
+    // Reverse reachability: for each input port, all locations that can
+    // reach it (reflexively), i.e. whose pointstamps constrain its frontier.
+    std::vector<std::vector<uint32_t>> radj(num_locs_);
+    for (uint32_t u = 0; u < num_locs_; ++u)
+      for (uint32_t v : adj[u]) radj[v].push_back(u);
+    reaching_.resize(input_port_locs_.size());
+    affects_.resize(num_locs_);
+    for (size_t p = 0; p < input_port_locs_.size(); ++p) {
+      std::vector<bool> seen(num_locs_, false);
+      std::vector<uint32_t> stack{input_port_locs_[p]};
+      seen[input_port_locs_[p]] = true;
+      while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        reaching_[p].push_back(u);
+        affects_[u].push_back(static_cast<uint32_t>(p));
+        for (uint32_t v : radj[u]) {
+          if (!seen[v]) {
+            seen[v] = true;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+    finalized_ = true;
+  }
+
+  bool finalized() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return finalized_;
+  }
+
+  /// Applies a batch of count deltas atomically and refreshes affected
+  /// frontiers.
+  void Apply(std::span<const Change<T>> changes) {
+    if (changes.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    MEGA_CHECK(finalized_);
+    dirty_scratch_.clear();
+    for (const auto& c : changes) {
+      MEGA_CHECK_LT(c.loc, num_locs_);
+      bool was_empty = counts_[c.loc].Empty();
+      if (counts_[c.loc].Update(c.time, c.delta)) {
+        Antichain<T> f = counts_[c.loc].Frontier();
+        if (!(f == loc_frontier_[c.loc])) {
+          loc_frontier_[c.loc] = std::move(f);
+          dirty_scratch_.push_back(c.loc);
+        }
+      }
+      bool now_empty = counts_[c.loc].Empty();
+      if (was_empty && !now_empty) nonempty_locs_++;
+      if (!was_empty && now_empty) nonempty_locs_--;
+    }
+    if (dirty_scratch_.empty()) return;
+
+    // Recompute the port frontier of every input port affected by a dirty
+    // location.
+    port_scratch_.clear();
+    for (uint32_t loc : dirty_scratch_) {
+      for (uint32_t p : affects_[loc]) {
+        if (std::find(port_scratch_.begin(), port_scratch_.end(), p) ==
+            port_scratch_.end())
+          port_scratch_.push_back(p);
+      }
+    }
+    bool any_changed = false;
+    for (uint32_t p : port_scratch_) {
+      Antichain<T> f;
+      for (uint32_t loc : reaching_[p]) {
+        for (const T& t : loc_frontier_[loc].elements()) f.Insert(t);
+      }
+      if (!(f == port_frontier_[p])) {
+        port_frontier_[p] = std::move(f);
+        any_changed = true;
+      }
+    }
+    if (any_changed)
+      version_.fetch_add(1, std::memory_order_release);
+  }
+
+  void ApplyOne(uint32_t loc, const T& time, int64_t delta) {
+    Change<T> c{loc, time, delta};
+    Apply(std::span<const Change<T>>(&c, 1));
+  }
+
+  /// Monotone version counter; bumped whenever any port frontier changes.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Copies all input-port frontiers (indexed by dense port index) into
+  /// `out` and returns the version they correspond to.
+  uint64_t SnapshotFrontiers(std::vector<Antichain<T>>& out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = port_frontier_;
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// Frontier at a single input-port location (used by probes).
+  Antichain<T> FrontierAt(uint32_t loc) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MEGA_CHECK_LT(loc, num_locs_);
+    int32_t p = port_index_of_loc_[loc];
+    MEGA_CHECK_GE(p, 0) << "FrontierAt requires an input-port location";
+    return port_frontier_[static_cast<size_t>(p)];
+  }
+
+  /// Dense port index of an input-port location, or -1.
+  int32_t PortIndexOf(uint32_t loc) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MEGA_CHECK_LT(loc, num_locs_);
+    return port_index_of_loc_[loc];
+  }
+
+  /// True when no pointstamps remain anywhere: the dataflow has completed.
+  bool Complete() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return finalized_ && nonempty_locs_ == 0;
+  }
+
+  size_t num_input_ports() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return input_port_locs_.size();
+  }
+
+ private:
+  static void CheckAcyclic(const std::vector<std::vector<uint32_t>>& adj) {
+    // Kahn's algorithm; the engine supports acyclic dataflows only (all of
+    // Megaphone's dataflows are acyclic).
+    std::vector<uint32_t> indeg(adj.size(), 0);
+    for (const auto& out : adj)
+      for (uint32_t v : out) indeg[v]++;
+    std::vector<uint32_t> queue;
+    for (uint32_t u = 0; u < adj.size(); ++u)
+      if (indeg[u] == 0) queue.push_back(u);
+    size_t seen = 0;
+    while (!queue.empty()) {
+      uint32_t u = queue.back();
+      queue.pop_back();
+      seen++;
+      for (uint32_t v : adj[u])
+        if (--indeg[v] == 0) queue.push_back(v);
+    }
+    MEGA_CHECK_EQ(seen, adj.size()) << "dataflow graph must be acyclic";
+  }
+
+  mutable std::mutex mu_;
+  bool finalized_ = false;
+  uint32_t num_locs_ = 0;
+  int64_t nonempty_locs_ = 0;
+  std::atomic<uint64_t> version_{0};
+
+  std::vector<MutableAntichain<T>> counts_;   // per location
+  std::vector<Antichain<T>> loc_frontier_;    // cached per location
+  std::vector<uint32_t> input_port_locs_;     // port index -> location
+  std::vector<int32_t> port_index_of_loc_;    // location -> port index
+  std::vector<std::vector<uint32_t>> reaching_;  // port -> reaching locs
+  std::vector<std::vector<uint32_t>> affects_;   // loc -> affected ports
+  std::vector<Antichain<T>> port_frontier_;      // per port index
+
+  // Scratch (guarded by mu_).
+  std::vector<uint32_t> dirty_scratch_;
+  std::vector<uint32_t> port_scratch_;
+};
+
+}  // namespace timely

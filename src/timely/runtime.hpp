@@ -1,0 +1,51 @@
+// Runtime entry point: spawn workers and run a user closure on each.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "timely/worker.hpp"
+
+namespace timely {
+
+struct Config {
+  /// Number of worker threads. The paper runs 4 workers per process.
+  uint32_t workers = 4;
+};
+
+/// Runs `fn(worker)` on `config.workers` threads. After the closure
+/// returns, each worker keeps stepping until every dataflow completes
+/// (inputs closed and all pointstamps drained), then the call returns.
+///
+/// Exceptions thrown by any worker closure are rethrown on the caller
+/// after all threads join.
+template <typename Fn>
+void Execute(const Config& config, Fn fn) {
+  MEGA_CHECK_GE(config.workers, 1u);
+  auto shared = std::make_shared<RuntimeShared>(config.workers);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(config.workers);
+  threads.reserve(config.workers);
+  for (uint32_t i = 0; i < config.workers; ++i) {
+    threads.emplace_back([i, shared, &fn, &errors] {
+      Worker worker(i, shared);
+      try {
+        fn(worker);
+        worker.StepUntilComplete();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace timely

@@ -1,0 +1,38 @@
+// Streams: build-time references to an operator's output.
+#pragma once
+
+#include <cstdint>
+
+namespace timely {
+
+template <typename D, typename T>
+class OutputHandle;
+
+template <typename T>
+class Scope;
+
+/// A typed reference to the output port of some node, valid during
+/// dataflow construction. Consumers attach channels to the underlying
+/// output handle.
+template <typename D, typename T>
+class Stream {
+ public:
+  using Data = D;
+  using Timestamp = T;
+
+  Stream() = default;
+  Stream(Scope<T>* scope, OutputHandle<D, T>* out, uint32_t loc)
+      : scope_(scope), out_(out), loc_(loc) {}
+
+  Scope<T>* scope() const { return scope_; }
+  OutputHandle<D, T>* output() const { return out_; }
+  uint32_t loc() const { return loc_; }
+  bool valid() const { return out_ != nullptr; }
+
+ private:
+  Scope<T>* scope_ = nullptr;
+  OutputHandle<D, T>* out_ = nullptr;
+  uint32_t loc_ = 0;
+};
+
+}  // namespace timely

@@ -1,0 +1,16 @@
+// Umbrella header for the timely dataflow engine substrate.
+#pragma once
+
+#include "timely/antichain.hpp"      // IWYU pragma: export
+#include "timely/channel.hpp"        // IWYU pragma: export
+#include "timely/input.hpp"          // IWYU pragma: export
+#include "timely/node.hpp"           // IWYU pragma: export
+#include "timely/notificator.hpp"    // IWYU pragma: export
+#include "timely/operator.hpp"       // IWYU pragma: export
+#include "timely/operators.hpp"      // IWYU pragma: export
+#include "timely/probe.hpp"          // IWYU pragma: export
+#include "timely/progress.hpp"       // IWYU pragma: export
+#include "timely/runtime.hpp"        // IWYU pragma: export
+#include "timely/stream.hpp"         // IWYU pragma: export
+#include "timely/timestamp.hpp"      // IWYU pragma: export
+#include "timely/worker.hpp"         // IWYU pragma: export

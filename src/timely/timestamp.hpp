@@ -1,0 +1,65 @@
+// Logical timestamps for timely dataflow.
+//
+// Timely dataflow timestamps are elements of a partially ordered set with a
+// minimum element. The engine is generic over the timestamp type; most of
+// this repository uses uint64_t (event time in nanoseconds or epoch
+// counters), but Product timestamps are provided to exercise — and test —
+// the genuinely partially ordered case that makes frontiers set-valued
+// (paper §3.1, Definition 1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <tuple>
+
+namespace timely {
+
+/// Traits every timestamp type must provide. The primary template covers
+/// totally ordered integral types.
+template <typename T>
+struct TimestampTraits {
+  /// Partial-order comparison: a ≤ b.
+  static bool LessEqual(const T& a, const T& b) { return a <= b; }
+  /// The minimum element of the order.
+  static T Minimum() { return std::numeric_limits<T>::min(); }
+};
+
+/// `a` is *in advance of* `b` iff b ≤ a (paper Definition 2, clause 1).
+template <typename T>
+bool InAdvanceOf(const T& a, const T& b) {
+  return TimestampTraits<T>::LessEqual(b, a);
+}
+
+/// Pairwise-ordered product timestamp (partially ordered):
+/// (a1,b1) ≤ (a2,b2) iff a1 ≤ a2 and b1 ≤ b2.
+template <typename TOuter, typename TInner>
+struct Product {
+  TOuter outer{};
+  TInner inner{};
+
+  friend bool operator==(const Product&, const Product&) = default;
+  // A total "tie-break" order used only for container keys; the *partial*
+  // order lives in TimestampTraits.
+  friend bool operator<(const Product& a, const Product& b) {
+    return std::tie(a.outer, a.inner) < std::tie(b.outer, b.inner);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Product& p) {
+    return os << "(" << p.outer << "," << p.inner << ")";
+  }
+};
+
+template <typename TOuter, typename TInner>
+struct TimestampTraits<Product<TOuter, TInner>> {
+  using P = Product<TOuter, TInner>;
+  static bool LessEqual(const P& a, const P& b) {
+    return TimestampTraits<TOuter>::LessEqual(a.outer, b.outer) &&
+           TimestampTraits<TInner>::LessEqual(a.inner, b.inner);
+  }
+  static P Minimum() {
+    return P{TimestampTraits<TOuter>::Minimum(),
+             TimestampTraits<TInner>::Minimum()};
+  }
+};
+
+}  // namespace timely

@@ -1,0 +1,309 @@
+// Workers, dataflow instances, and the construction scope.
+//
+// A Worker is one thread executing every operator of every dataflow it has
+// built (Figure 2 of the paper: all operators are multiplexed on all
+// workers, data is partitioned). Every worker runs the same user closure
+// and must build the same dataflows in the same order; deterministic node
+// and channel id assignment during construction is what lets workers agree
+// on the graph without further coordination.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "timely/antichain.hpp"
+#include "timely/channel.hpp"
+#include "timely/node.hpp"
+#include "timely/progress.hpp"
+
+namespace timely {
+
+/// Reusable (generation-counting) thread barrier.
+class Barrier {
+ public:
+  explicit Barrier(uint32_t n) : n_(n) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t gen = gen_;
+    if (++count_ == n_) {
+      count_ = 0;
+      gen_++;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return gen != gen_; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t n_;
+  uint32_t count_ = 0;
+  uint64_t gen_ = 0;
+};
+
+/// State shared by all workers of one runtime.
+struct RuntimeShared {
+  explicit RuntimeShared(uint32_t w) : workers(w), build_barrier(w) {}
+
+  uint32_t workers;
+  ChannelRegistry channels;
+  Barrier build_barrier;
+
+  std::mutex df_mu;
+  struct DfEntry {
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<void> ptr;
+  };
+  std::vector<DfEntry> df_shared;
+
+  template <typename Shared>
+  std::shared_ptr<Shared> GetOrCreateDataflowShared(uint64_t df_id) {
+    std::lock_guard<std::mutex> lock(df_mu);
+    if (df_shared.size() <= df_id) df_shared.resize(df_id + 1);
+    auto& entry = df_shared[df_id];
+    if (!entry.ptr) {
+      entry.type = std::type_index(typeid(Shared));
+      entry.ptr = std::make_shared<Shared>();
+    }
+    MEGA_CHECK(entry.type == std::type_index(typeid(Shared)))
+        << "dataflow timestamp type mismatch between workers";
+    return std::static_pointer_cast<Shared>(entry.ptr);
+  }
+};
+
+/// Per-dataflow state shared by all workers (one progress tracker).
+template <typename T>
+struct DataflowShared {
+  ProgressTracker<T> tracker;
+};
+
+class DataflowInstanceBase {
+ public:
+  virtual ~DataflowInstanceBase() = default;
+  virtual bool Step() = 0;
+  virtual bool Complete() const = 0;
+};
+
+/// One worker's instance of a dataflow: its local operator nodes plus a
+/// cached snapshot of all input-port frontiers.
+template <typename T>
+class DataflowInstance final : public DataflowInstanceBase {
+ public:
+  DataflowInstance(uint64_t id, uint32_t worker, uint32_t peers,
+                   std::shared_ptr<DataflowShared<T>> shared,
+                   RuntimeShared* runtime)
+      : id_(id),
+        worker_(worker),
+        peers_(peers),
+        shared_(std::move(shared)),
+        runtime_(runtime) {}
+
+  bool Step() override {
+    RefreshFrontiers();
+    bool active = false;
+    for (auto& node : nodes_) active |= node->Schedule(*this);
+    return active;
+  }
+
+  bool Complete() const override { return shared_->tracker.Complete(); }
+
+  /// Frontier of the dense input-port index `idx`, as of the last refresh.
+  const Antichain<T>& FrontierOfPort(int32_t idx) const {
+    MEGA_CHECK_GE(idx, 0);
+    MEGA_CHECK_LT(static_cast<size_t>(idx), frontiers_.size());
+    return frontiers_[static_cast<size_t>(idx)];
+  }
+
+  void RefreshFrontiers() {
+    uint64_t v = shared_->tracker.version();
+    if (v != seen_version_) {
+      seen_version_ = shared_->tracker.SnapshotFrontiers(frontiers_);
+    }
+  }
+
+  ProgressTracker<T>& tracker() { return shared_->tracker; }
+  std::shared_ptr<DataflowShared<T>> shared() { return shared_; }
+  uint64_t id() const { return id_; }
+  uint32_t worker_index() const { return worker_; }
+  uint32_t peers() const { return peers_; }
+  RuntimeShared* runtime() { return runtime_; }
+
+  void AddNode(std::unique_ptr<NodeBase<T>> node) {
+    nodes_.push_back(std::move(node));
+  }
+  void KeepAlive(std::shared_ptr<void> p) {
+    keepalive_.push_back(std::move(p));
+  }
+
+ private:
+  uint64_t id_;
+  uint32_t worker_;
+  uint32_t peers_;
+  std::shared_ptr<DataflowShared<T>> shared_;
+  RuntimeShared* runtime_;
+  std::vector<std::unique_ptr<NodeBase<T>>> nodes_;
+  std::vector<std::shared_ptr<void>> keepalive_;
+  uint64_t seen_version_ = ~uint64_t{0};
+  std::vector<Antichain<T>> frontiers_;
+};
+
+/// Handed to the dataflow-construction closure; assigns node, port, and
+/// channel ids deterministically and records the graph structure.
+template <typename T>
+class Scope {
+ public:
+  using Timestamp = T;
+
+  Scope(DataflowInstance<T>* df, GraphSpec* spec)
+      : df_(df), spec_(spec) {}
+
+  uint32_t worker() const { return df_->worker_index(); }
+  uint32_t peers() const { return df_->peers(); }
+  DataflowInstance<T>* df() { return df_; }
+  GraphSpec* spec() { return spec_; }
+
+  uint32_t ReserveNode(std::string name) {
+    return spec_->AddNode(std::move(name));
+  }
+  /// Adds an input port; returns {location, dense port index}.
+  std::pair<uint32_t, int32_t> AddInputPort(uint32_t node) {
+    uint32_t loc = spec_->AddInputPort(node);
+    return {loc, input_port_counter_++};
+  }
+  uint32_t AddOutputPort(uint32_t node) {
+    return spec_->AddOutputPort(node);
+  }
+  void AddEdge(uint32_t src_loc, uint32_t dst_loc) {
+    spec_->AddEdge(src_loc, dst_loc);
+  }
+
+  template <typename C>
+  std::shared_ptr<C> GetChannel() {
+    uint64_t cid = channel_counter_++;
+    return df_->runtime()->channels.template GetOrCreate<C>(df_->id(), cid,
+                                                            peers());
+  }
+
+  /// Registers initial capability changes applied after the tracker is
+  /// finalized (used by input handles for their initial epoch capability).
+  void AddInitialChange(uint32_t loc, const T& time, int64_t delta) {
+    initial_changes_.push_back(Change<T>{loc, time, delta});
+  }
+  const std::vector<Change<T>>& initial_changes() const {
+    return initial_changes_;
+  }
+
+ private:
+  DataflowInstance<T>* df_;
+  GraphSpec* spec_;
+  uint64_t channel_counter_ = 0;
+  int32_t input_port_counter_ = 0;
+  std::vector<Change<T>> initial_changes_;
+};
+
+/// One worker thread's interface: build dataflows, then step them.
+class Worker {
+ public:
+  Worker(uint32_t index, std::shared_ptr<RuntimeShared> runtime)
+      : index_(index), runtime_(std::move(runtime)) {}
+
+  uint32_t index() const { return index_; }
+  uint32_t peers() const { return runtime_->workers; }
+
+  /// Builds a dataflow with timestamp type T. Every worker must call
+  /// Dataflow the same number of times with structurally identical builds;
+  /// this call blocks on a barrier until all workers finish building.
+  /// Returns whatever the build closure returns (handles, probes, ...).
+  template <typename T, typename BuildFn>
+  decltype(auto) Dataflow(BuildFn&& build) {
+    uint64_t df_id = next_dataflow_id_++;
+    auto shared =
+        runtime_->GetOrCreateDataflowShared<DataflowShared<T>>(df_id);
+    auto inst = std::make_unique<DataflowInstance<T>>(
+        df_id, index_, peers(), shared, runtime_.get());
+    GraphSpec spec;
+    Scope<T> scope(inst.get(), &spec);
+
+    if constexpr (std::is_void_v<decltype(build(scope))>) {
+      build(scope);
+      FinishBuild(scope, spec, *shared);
+      dataflows_.push_back(std::move(inst));
+      runtime_->build_barrier.Wait();
+      return;
+    } else {
+      decltype(auto) result = build(scope);
+      FinishBuild(scope, spec, *shared);
+      dataflows_.push_back(std::move(inst));
+      runtime_->build_barrier.Wait();
+      return result;
+    }
+  }
+
+  /// Schedules every node of every dataflow once. Returns true if any node
+  /// did work.
+  bool Step() {
+    bool active = false;
+    for (auto& df : dataflows_) active |= df->Step();
+    return active;
+  }
+
+  /// Steps until `pred()` becomes true, with idle backoff.
+  template <typename Pred>
+  void StepUntil(Pred pred) {
+    uint32_t idle = 0;
+    while (!pred()) {
+      if (Step()) {
+        idle = 0;
+      } else {
+        Backoff(++idle);
+      }
+    }
+  }
+
+  /// Steps until every dataflow has completed (all counts drained).
+  void StepUntilComplete() {
+    StepUntil([&] {
+      for (auto& df : dataflows_) {
+        if (!df->Complete()) return false;
+      }
+      return true;
+    });
+  }
+
+ private:
+  template <typename T>
+  void FinishBuild(Scope<T>& scope, GraphSpec& spec,
+                   DataflowShared<T>& shared) {
+    shared.tracker.Finalize(spec);
+    if (!scope.initial_changes().empty()) {
+      shared.tracker.Apply(std::span<const Change<T>>(
+          scope.initial_changes().data(), scope.initial_changes().size()));
+    }
+  }
+
+  static void Backoff(uint32_t idle) {
+    if (idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  uint32_t index_;
+  std::shared_ptr<RuntimeShared> runtime_;
+  std::vector<std::unique_ptr<DataflowInstanceBase>> dataflows_;
+  uint64_t next_dataflow_id_ = 0;
+};
+
+}  // namespace timely

@@ -1,0 +1,136 @@
+// Tests for antichains and counted timestamp multisets (paper Def. 1/2).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "timely/antichain.hpp"
+#include "timely/timestamp.hpp"
+
+namespace timely {
+namespace {
+
+using P = Product<uint64_t, uint64_t>;
+
+TEST(Timestamp, IntegerTraits) {
+  EXPECT_TRUE(TimestampTraits<uint64_t>::LessEqual(3, 5));
+  EXPECT_TRUE(TimestampTraits<uint64_t>::LessEqual(5, 5));
+  EXPECT_FALSE(TimestampTraits<uint64_t>::LessEqual(6, 5));
+  EXPECT_EQ(TimestampTraits<uint64_t>::Minimum(), 0u);
+}
+
+TEST(Timestamp, InAdvanceOfMatchesPaperExample) {
+  // "a time 6 is in advance of 5" (paper §3.2).
+  EXPECT_TRUE(InAdvanceOf<uint64_t>(6, 5));
+  EXPECT_TRUE(InAdvanceOf<uint64_t>(5, 5));
+  EXPECT_FALSE(InAdvanceOf<uint64_t>(4, 5));
+}
+
+TEST(Timestamp, ProductIsPartiallyOrdered) {
+  using Tr = TimestampTraits<P>;
+  EXPECT_TRUE(Tr::LessEqual(P{1, 1}, P{2, 2}));
+  EXPECT_FALSE(Tr::LessEqual(P{1, 3}, P{2, 2}));  // incomparable
+  EXPECT_FALSE(Tr::LessEqual(P{2, 2}, P{1, 3}));  // incomparable
+  EXPECT_EQ(Tr::Minimum(), (P{0, 0}));
+}
+
+TEST(Antichain, InsertKeepsMinimalElements) {
+  Antichain<uint64_t> f;
+  EXPECT_TRUE(f.Insert(5));
+  EXPECT_FALSE(f.Insert(7));  // dominated
+  EXPECT_FALSE(f.Insert(5));  // duplicate
+  EXPECT_TRUE(f.Insert(3));   // dominates 5
+  ASSERT_EQ(f.elements().size(), 1u);
+  EXPECT_EQ(f.elements()[0], 3u);
+}
+
+TEST(Antichain, LessEqualAndLessThan) {
+  Antichain<uint64_t> f;
+  f.Insert(10);
+  EXPECT_TRUE(f.LessEqual(10));
+  EXPECT_TRUE(f.LessEqual(11));
+  EXPECT_FALSE(f.LessEqual(9));
+  EXPECT_FALSE(f.LessThan(10));
+  EXPECT_TRUE(f.LessThan(11));
+}
+
+TEST(Antichain, EmptyFrontierMeansComplete) {
+  Antichain<uint64_t> f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.LessEqual(0));
+  EXPECT_FALSE(f.LessThan(~uint64_t{0}));
+}
+
+TEST(Antichain, PartialOrderHoldsMultipleElements) {
+  // With partially ordered timestamps a frontier is genuinely set-valued
+  // (paper §3.1: "a frontier must be set-valued rather than a single
+  // timestamp").
+  Antichain<P> f;
+  EXPECT_TRUE(f.Insert(P{1, 5}));
+  EXPECT_TRUE(f.Insert(P{5, 1}));  // incomparable with {1,5}
+  EXPECT_EQ(f.elements().size(), 2u);
+  EXPECT_FALSE(f.Insert(P{5, 5}));  // dominated by both
+  EXPECT_TRUE(f.LessEqual(P{1, 7}));
+  EXPECT_TRUE(f.LessEqual(P{7, 1}));
+  EXPECT_FALSE(f.LessEqual(P{0, 0}));
+  EXPECT_TRUE(f.Insert(P{0, 0}));  // dominates everything
+  EXPECT_EQ(f.elements().size(), 1u);
+}
+
+TEST(Antichain, EqualityIsSetEquality) {
+  Antichain<P> a, b;
+  a.Insert(P{1, 5});
+  a.Insert(P{5, 1});
+  b.Insert(P{5, 1});
+  b.Insert(P{1, 5});
+  EXPECT_TRUE(a == b);
+  b.Insert(P{0, 9});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MutableAntichain, FrontierTracksPositiveCounts) {
+  MutableAntichain<uint64_t> m;
+  EXPECT_TRUE(m.Empty());
+  m.Update(5, 2);
+  m.Update(7, 1);
+  auto f = m.Frontier();
+  ASSERT_EQ(f.elements().size(), 1u);
+  EXPECT_EQ(f.elements()[0], 5u);
+  m.Update(5, -2);
+  f = m.Frontier();
+  ASSERT_EQ(f.elements().size(), 1u);
+  EXPECT_EQ(f.elements()[0], 7u);
+  m.Update(7, -1);
+  EXPECT_TRUE(m.Empty());
+  EXPECT_TRUE(m.AllZero());
+}
+
+TEST(MutableAntichain, UpdateReportsPossibleFrontierChange) {
+  MutableAntichain<uint64_t> m;
+  EXPECT_TRUE(m.Update(5, 1));    // support gained 5
+  EXPECT_FALSE(m.Update(5, 1));   // still positive
+  EXPECT_FALSE(m.Update(5, -1));  // still positive
+  EXPECT_TRUE(m.Update(5, -1));   // support lost 5
+}
+
+TEST(MutableAntichain, ToleratesTransientNegativeCounts) {
+  MutableAntichain<uint64_t> m;
+  m.Update(4, -1);  // consumption seen before production
+  EXPECT_TRUE(m.Empty());
+  EXPECT_FALSE(m.AllZero());
+  EXPECT_EQ(m.CountOf(4), -1);
+  m.Update(4, +1);
+  EXPECT_TRUE(m.AllZero());
+}
+
+TEST(MutableAntichain, PartialOrderFrontier) {
+  MutableAntichain<P> m;
+  m.Update(P{1, 5}, 1);
+  m.Update(P{5, 1}, 1);
+  m.Update(P{9, 9}, 3);
+  auto f = m.Frontier();
+  EXPECT_EQ(f.elements().size(), 2u);
+  EXPECT_TRUE(f.LessEqual(P{9, 9}));
+}
+
+}  // namespace
+}  // namespace timely

@@ -1,0 +1,173 @@
+// Tests for control-plane pieces: bin mapping, the time-versioned routing
+// table, assignment planning, and strategy batch generation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "common/hash.hpp"
+#include "megaphone/control.hpp"
+#include "megaphone/strategies.hpp"
+
+namespace megaphone {
+namespace {
+
+TEST(BinOf, UsesMostSignificantBits) {
+  EXPECT_EQ(BinOf(0, 1), 0u);
+  EXPECT_EQ(BinOf(~uint64_t{0}, 1), 0u);
+  // With 4 bins, the top 2 bits select the bin.
+  EXPECT_EQ(BinOf(0x0000000000000000ULL, 4), 0u);
+  EXPECT_EQ(BinOf(0x4000000000000000ULL, 4), 1u);
+  EXPECT_EQ(BinOf(0x8000000000000000ULL, 4), 2u);
+  EXPECT_EQ(BinOf(0xC000000000000000ULL, 4), 3u);
+  EXPECT_EQ(BinOf(0xFFFFFFFFFFFFFFFFULL, 4), 3u);
+}
+
+TEST(BinOf, CoversAllBinsUnderMixedHash) {
+  std::set<BinId> seen;
+  for (uint64_t k = 0; k < 4096; ++k) seen.insert(BinOf(HashMix64(k), 64));
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RoutingTable, InitialAssignmentIsModulo) {
+  RoutingTable<uint64_t> rt(8, 4);
+  for (BinId b = 0; b < 8; ++b) {
+    EXPECT_EQ(rt.WorkerAt(0, b), b % 4);
+    EXPECT_EQ(rt.WorkerAt(1000, b), b % 4);
+  }
+}
+
+TEST(RoutingTable, VersionsTakeEffectAtTheirTime) {
+  RoutingTable<uint64_t> rt(4, 2);
+  rt.Apply(10, 1, 0);  // bin 1: worker 1 -> worker 0 at t=10
+  EXPECT_EQ(rt.WorkerAt(9, 1), 1u);
+  EXPECT_EQ(rt.WorkerAt(10, 1), 0u);
+  EXPECT_EQ(rt.WorkerAt(11, 1), 0u);
+  rt.Apply(20, 1, 1);
+  EXPECT_EQ(rt.WorkerAt(15, 1), 0u);
+  EXPECT_EQ(rt.WorkerAt(20, 1), 1u);
+}
+
+TEST(RoutingTable, OwnerBeforeIsStrict) {
+  RoutingTable<uint64_t> rt(4, 2);
+  rt.Apply(10, 1, 0);
+  EXPECT_EQ(rt.OwnerBefore(10, 1), 1u);  // before the t=10 update
+  EXPECT_EQ(rt.OwnerBefore(11, 1), 0u);
+  rt.Apply(20, 1, 1);
+  EXPECT_EQ(rt.OwnerBefore(20, 1), 0u);
+}
+
+TEST(RoutingTable, LastUpdateAtSameTimeWins) {
+  RoutingTable<uint64_t> rt(4, 4);
+  rt.Apply(10, 2, 0);
+  rt.Apply(10, 2, 3);
+  EXPECT_EQ(rt.WorkerAt(10, 2), 3u);
+}
+
+TEST(RoutingTable, OutOfOrderVersionsRejected) {
+  RoutingTable<uint64_t> rt(4, 2);
+  rt.Apply(10, 1, 0);
+  EXPECT_DEATH(rt.Apply(5, 1, 1), "time order");
+}
+
+TEST(RoutingTable, CompactKeepsQueryableHistory) {
+  RoutingTable<uint64_t> rt(2, 2);
+  rt.Apply(10, 0, 1);
+  rt.Apply(20, 0, 0);
+  rt.Apply(30, 0, 1);
+  EXPECT_EQ(rt.TotalVersions(), 5u);  // 2 initial + 3
+  rt.Compact(25);                     // frontier passed 25
+  // Queries at times >= 25 still answer correctly.
+  EXPECT_EQ(rt.WorkerAt(25, 0), 0u);
+  EXPECT_EQ(rt.WorkerAt(30, 0), 1u);
+  EXPECT_EQ(rt.WorkerAt(40, 0), 1u);
+  EXPECT_LT(rt.TotalVersions(), 5u);
+}
+
+TEST(RoutingTable, NonPowerOfTwoBinsRejected) {
+  EXPECT_DEATH(RoutingTable<uint64_t>(3, 2), "power of two");
+}
+
+TEST(Assignments, ImbalancedMovesQuarterOfBins) {
+  const uint32_t bins = 64, workers = 4;
+  auto init = MakeInitialAssignment(bins, workers);
+  auto imb = MakeImbalancedAssignment(bins, workers);
+  auto moves = DiffAssignments(init, imb);
+  // Half of the bins of half of the workers move: 25% of all bins.
+  EXPECT_EQ(moves.size(), bins / 4);
+  for (const auto& m : moves) {
+    EXPECT_LT(init[m.bin], workers / 2);       // source in lower half
+    EXPECT_GE(m.worker, workers / 2);          // destination in upper half
+    EXPECT_EQ(m.worker, init[m.bin] + workers / 2);
+  }
+}
+
+TEST(Assignments, DiffIsEmptyForIdenticalAssignments) {
+  auto a = MakeInitialAssignment(16, 4);
+  EXPECT_TRUE(DiffAssignments(a, a).empty());
+}
+
+TEST(Strategies, AllAtOnceIsOneBatch) {
+  auto from = MakeInitialAssignment(16, 4);
+  auto to = MakeImbalancedAssignment(16, 4);
+  auto moves = DiffAssignments(from, to);
+  auto batches = PlanBatches(MigrationStrategy::kAllAtOnce, moves, from, 0);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), moves.size());
+}
+
+TEST(Strategies, FluidIsOneBinPerBatch) {
+  auto from = MakeInitialAssignment(16, 4);
+  auto to = MakeImbalancedAssignment(16, 4);
+  auto moves = DiffAssignments(from, to);
+  auto batches = PlanBatches(MigrationStrategy::kFluid, moves, from, 0);
+  EXPECT_EQ(batches.size(), moves.size());
+  for (const auto& b : batches) EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(Strategies, BatchedRespectsBatchSize) {
+  auto from = MakeInitialAssignment(64, 4);
+  auto to = MakeImbalancedAssignment(64, 4);
+  auto moves = DiffAssignments(from, to);  // 16 moves
+  auto batches = PlanBatches(MigrationStrategy::kBatched, moves, from, 5);
+  ASSERT_EQ(batches.size(), 4u);  // ceil(16/5)
+  size_t total = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 5u);
+    total += b.size();
+  }
+  EXPECT_EQ(total, moves.size());
+}
+
+TEST(Strategies, OptimizedBatchesNeverShareEndpoints) {
+  // Scatter bins across 8 workers, then rebalance to a rotation; verify
+  // that within each optimized batch no worker is used twice as source or
+  // destination, and that every move is emitted exactly once.
+  const uint32_t bins = 64, workers = 8;
+  auto from = MakeInitialAssignment(bins, workers);
+  Assignment to = from;
+  for (uint32_t b = 0; b < bins; ++b) to[b] = (from[b] + 1 + b % 3) % workers;
+  auto moves = DiffAssignments(from, to);
+  auto batches = PlanBatches(MigrationStrategy::kOptimized, moves, from, 0);
+
+  Assignment current = from;
+  size_t total = 0;
+  for (const auto& batch : batches) {
+    std::set<uint32_t> srcs, dsts;
+    for (const auto& m : batch) {
+      EXPECT_TRUE(srcs.insert(current[m.bin]).second)
+          << "source worker reused within a batch";
+      EXPECT_TRUE(dsts.insert(m.worker).second)
+          << "destination worker reused within a batch";
+    }
+    for (const auto& m : batch) current[m.bin] = m.worker;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, moves.size());
+  EXPECT_EQ(current, to);
+  // Matching should need far fewer steps than fluid.
+  EXPECT_LT(batches.size(), moves.size());
+}
+
+}  // namespace
+}  // namespace megaphone

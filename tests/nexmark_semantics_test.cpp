@@ -1,0 +1,351 @@
+// Hand-crafted NEXMark semantics tests: precise window boundaries, expiry
+// handling, tie-breaking, and filters, with exact expected outputs. These
+// pin down the query semantics that the native-vs-Megaphone equivalence
+// suite (nexmark_test.cpp) compares.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "nexmark/nexmark.hpp"
+#include "timely/timely.hpp"
+
+namespace nexmark {
+namespace {
+
+using megaphone::ControlInst;
+using T = uint64_t;
+
+/// Runs a single-worker dataflow: `build` wires a query off manually fed
+/// inputs, `feed` drives them ((persons, auctions, bids) handles plus an
+/// epoch-advance callback).
+struct ManualRunner {
+  template <typename BuildFn, typename FeedFn>
+  static void Run(BuildFn build, FeedFn feed) {
+    timely::Execute(timely::Config{1}, [&](timely::Worker& w) {
+      struct Handles {
+        timely::Input<ControlInst, T> ctrl;
+        timely::Input<Person, T> persons;
+        timely::Input<Auction, T> auctions;
+        timely::Input<Bid, T> bids;
+      };
+      auto handles = w.Dataflow<T>([&](timely::Scope<T>& s) -> Handles {
+        auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
+        auto [p_in, p_stream] = timely::NewInput<Person>(s);
+        auto [a_in, a_stream] = timely::NewInput<Auction>(s);
+        auto [b_in, b_stream] = timely::NewInput<Bid>(s);
+        NexmarkStreams<T> streams{p_stream, a_stream, b_stream};
+        build(ctrl_stream, streams);
+        return Handles{ctrl_in, p_in, a_in, b_in};
+      });
+      auto& [ctrl_in, p_in, a_in, b_in] = handles;
+      auto advance = [&](uint64_t t) {
+        ctrl_in->AdvanceTo(t + 1);  // control stays ahead of data
+        p_in->AdvanceTo(t);
+        a_in->AdvanceTo(t);
+        b_in->AdvanceTo(t);
+        w.Step();
+      };
+      feed(p_in, a_in, b_in, advance);
+      ctrl_in->Close();
+      p_in->Close();
+      a_in->Close();
+      b_in->Close();
+    });
+  }
+};
+
+Auction MakeAuction(uint64_t id, uint64_t seller, uint32_t category,
+                    uint64_t t, uint64_t expires) {
+  Auction a;
+  a.id = id;
+  a.seller = seller;
+  a.category = category;
+  a.date_time = t;
+  a.expires = expires;
+  return a;
+}
+
+Bid MakeBid(uint64_t auction, uint64_t price, uint64_t t) {
+  Bid b;
+  b.auction = auction;
+  b.price = price;
+  b.date_time = t;
+  return b;
+}
+
+TEST(NexmarkSemantics, Q1ConvertsPrices) {
+  EXPECT_EQ(ToEuros(1000), 908u);
+  EXPECT_EQ(ToEuros(0), 0u);
+  EXPECT_EQ(ToEuros(1), 0u);  // integer conversion truncates
+}
+
+TEST(NexmarkSemantics, ClosedAuctionIncludesBidAtExpiryExcludesLater) {
+  std::mutex mu;
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> closed;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = ClosedAuctionsMega(ctrl, in, qcfg);
+        timely::Sink(out.stream,
+                     [&](const T& t, std::vector<ClosedAuction>& d) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       for (auto& c : d) closed.push_back({t, c.auction,
+                                                           c.price});
+                     });
+      },
+      [&](auto&, auto& a_in, auto& b_in, auto advance) {
+        a_in->Send(MakeAuction(1, 0, 0, /*t=*/1, /*expires=*/10));
+        advance(2);
+        b_in->Send(MakeBid(1, 100, 2));  // early bid
+        advance(10);
+        b_in->Send(MakeBid(1, 300, 10));  // bid AT expiry: included
+        advance(11);
+        b_in->Send(MakeBid(1, 900, 11));  // after expiry: dropped
+        advance(12);
+      });
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], (std::tuple<uint64_t, uint64_t, uint64_t>{10, 1, 300}));
+}
+
+TEST(NexmarkSemantics, AuctionWithoutBidsClosesAtZero) {
+  std::mutex mu;
+  std::vector<uint64_t> prices;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = ClosedAuctionsMega(ctrl, in, qcfg);
+        timely::Sink(out.stream,
+                     [&](const T&, std::vector<ClosedAuction>& d) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       for (auto& c : d) prices.push_back(c.price);
+                     });
+      },
+      [&](auto&, auto& a_in, auto&, auto advance) {
+        a_in->Send(MakeAuction(5, 0, 0, 1, 4));
+        advance(6);
+      });
+  ASSERT_EQ(prices.size(), 1u);
+  EXPECT_EQ(prices[0], 0u);
+}
+
+TEST(NexmarkSemantics, Q5WindowExcludesBoundarySlice) {
+  // slide=10, slices=2 -> window [f-20, f). A bid at exactly t=20 must not
+  // count toward the window ending at 20, but toward the one ending at 30.
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> hot;  // (window end, auction)
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  qcfg.q5_slide_ms = 10;
+  qcfg.q5_slices = 2;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q5Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q5Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) hot.push_back(o);
+        });
+      },
+      [&](auto&, auto&, auto& b_in, auto advance) {
+        b_in->Send(MakeBid(1, 5, 5));  // slice [0,10): windows @10, @20
+        advance(20);
+        b_in->Send(MakeBid(2, 5, 20));  // slice [20,30): windows @30, @40
+        b_in->Send(MakeBid(2, 5, 20));
+        advance(60);
+      });
+  std::sort(hot.begin(), hot.end());
+  // @10 and @20: auction 1 (1 bid). @30 and @40: auction 2 (2 bids).
+  std::vector<std::pair<uint64_t, uint64_t>> expected = {
+      {10, 1}, {20, 1}, {30, 2}, {40, 2}};
+  EXPECT_EQ(hot, expected);
+}
+
+TEST(NexmarkSemantics, Q5TieBreaksToLowestAuction) {
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> hot;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  qcfg.q5_slide_ms = 10;
+  qcfg.q5_slices = 1;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q5Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q5Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) hot.push_back(o);
+        });
+      },
+      [&](auto&, auto&, auto& b_in, auto advance) {
+        b_in->Send(MakeBid(7, 1, 3));
+        b_in->Send(MakeBid(4, 1, 4));  // tie: auction 4 < 7 wins
+        advance(30);
+      });
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], (std::pair<uint64_t, uint64_t>{10, 4}));
+}
+
+TEST(NexmarkSemantics, Q7WindowMaxima) {
+  std::mutex mu;
+  std::vector<Q7Out> maxima;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  qcfg.q7_window_ms = 10;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q7Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q7Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) maxima.push_back(o);
+        });
+      },
+      [&](auto&, auto&, auto& b_in, auto advance) {
+        b_in->Send(MakeBid(1, 50, 2));
+        b_in->Send(MakeBid(2, 90, 7));
+        advance(10);  // window [0,10) -> 90
+        // [10,20): no bids -> no output.
+        advance(20);
+        b_in->Send(MakeBid(3, 10, 25));
+        advance(40);  // window [20,30) -> 10
+      });
+  std::sort(maxima.begin(), maxima.end());
+  std::vector<Q7Out> expected = {{10, 90}, {30, 10}};
+  EXPECT_EQ(maxima, expected);
+}
+
+TEST(NexmarkSemantics, Q8SameWindowOnlyAndOnce) {
+  std::mutex mu;
+  std::vector<Q8Out> out_rows;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  qcfg.q8_window_ms = 10;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q8Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q8Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) out_rows.push_back(o);
+        });
+      },
+      [&](auto& p_in, auto& a_in, auto&, auto advance) {
+        Person p;
+        p.id = 1;
+        p.name = "person-1";
+        p.date_time = 2;  // window [0,10)
+        p_in->Send(std::move(p));
+        advance(3);
+        a_in->Send(MakeAuction(10, 1, 0, 3, 100));  // same window: emits
+        a_in->Send(MakeAuction(11, 1, 0, 4, 100));  // same window: deduped
+        advance(12);
+        a_in->Send(MakeAuction(12, 1, 0, 12, 100));  // next window: no emit
+        advance(30);
+      });
+  ASSERT_EQ(out_rows.size(), 1u);
+  EXPECT_EQ(out_rows[0], (Q8Out{1, "person-1"}));
+}
+
+TEST(NexmarkSemantics, Q3FiltersStateAndCategory) {
+  std::mutex mu;
+  std::vector<Q3Out> joined;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  qcfg.q3_category = 7;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q3Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q3Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) joined.push_back(o);
+        });
+      },
+      [&](auto& p_in, auto& a_in, auto&, auto advance) {
+        Person oregon;
+        oregon.id = 1;
+        oregon.name = "person-1";
+        oregon.city = "Portland";
+        oregon.state = "OR";
+        oregon.date_time = 1;
+        Person texas;
+        texas.id = 2;
+        texas.name = "person-2";
+        texas.city = "Austin";
+        texas.state = "TX";  // filtered out
+        texas.date_time = 1;
+        p_in->Send(std::move(oregon));
+        p_in->Send(std::move(texas));
+        advance(2);
+        a_in->Send(MakeAuction(100, 1, 7, 3, 50));   // joins
+        a_in->Send(MakeAuction(101, 1, 3, 3, 50));   // wrong category
+        a_in->Send(MakeAuction(102, 2, 7, 3, 50));   // TX person filtered
+        advance(10);
+      });
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(std::get<0>(joined[0]), "person-1");
+  EXPECT_EQ(std::get<3>(joined[0]), 100u);
+}
+
+TEST(NexmarkSemantics, Q4RunningAverageIsCumulative) {
+  std::mutex mu;
+  std::vector<Q4Out> avgs;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q4Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q4Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) avgs.push_back(o);
+        });
+      },
+      [&](auto&, auto& a_in, auto& b_in, auto advance) {
+        a_in->Send(MakeAuction(1, 0, 2, 1, 5));
+        a_in->Send(MakeAuction(2, 0, 2, 1, 8));
+        advance(2);
+        b_in->Send(MakeBid(1, 100, 2));
+        b_in->Send(MakeBid(2, 200, 2));
+        advance(20);
+      });
+  // Auction 1 closes @5 (price 100): avg 100. Auction 2 closes @8
+  // (price 200): cumulative avg (100+200)/2 = 150.
+  ASSERT_EQ(avgs.size(), 2u);
+  EXPECT_EQ(avgs[0], (Q4Out{2, 100}));
+  EXPECT_EQ(avgs[1], (Q4Out{2, 150}));
+}
+
+TEST(NexmarkSemantics, Q6KeepsLastTenOnly) {
+  std::mutex mu;
+  std::vector<Q6Out> avgs;
+  QueryConfig qcfg;
+  qcfg.num_bins = 4;
+  ManualRunner::Run(
+      [&](timely::Stream<ControlInst, T> ctrl, NexmarkStreams<T>& in) {
+        auto out = Q6Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [&](const T&, std::vector<Q6Out>& d) {
+          std::lock_guard<std::mutex> lock(mu);
+          for (auto& o : d) avgs.push_back(o);
+        });
+      },
+      [&](auto&, auto& a_in, auto& b_in, auto advance) {
+        // Twelve auctions by seller 9, each closing at a distinct time
+        // with price = auction id * 10.
+        for (uint64_t id = 1; id <= 12; ++id) {
+          a_in->Send(MakeAuction(id, 9, 0, id, id + 20));
+          b_in->Send(MakeBid(id, id * 10, id));
+          advance(id + 1);
+        }
+        advance(40);
+      });
+  ASSERT_EQ(avgs.size(), 12u);
+  // After the 12th closure, the ring holds prices 30..120: avg = 75.
+  EXPECT_EQ(avgs.back(), (Q6Out{9, 75}));
+  // After the 10th closure, ring holds 10..100: avg = 55.
+  EXPECT_EQ(avgs[9], (Q6Out{9, 55}));
+}
+
+}  // namespace
+}  // namespace nexmark

@@ -1,0 +1,443 @@
+// NEXMark tests: generator properties, and for every query Q1-Q8 the
+// equivalence of three executions on identical input:
+//   (a) the native timely implementation,
+//   (b) the Megaphone implementation without migration,
+//   (c) the Megaphone implementation with two live migrations mid-stream.
+// (b) == (a) validates the operator interface; (c) == (a) validates that
+// migration preserves Property 1 (correctness) on realistic queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nexmark/nexmark.hpp"
+#include "timely/timely.hpp"
+
+namespace nexmark {
+namespace {
+
+using megaphone::Assignment;
+using megaphone::ControlInst;
+using megaphone::MakeImbalancedAssignment;
+using megaphone::MakeInitialAssignment;
+using megaphone::MigrationController;
+using megaphone::MigrationStrategy;
+using T = uint64_t;
+
+// ---------------------------------------------------------------- generator
+
+TEST(Generator, DeterministicByIndex) {
+  Generator g1, g2;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Event a = g1.At(i), b = g2.At(i);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.time_ms(), b.time_ms());
+    if (a.kind == Event::Kind::kBid) {
+      EXPECT_EQ(a.bid, b.bid);
+    }
+  }
+}
+
+TEST(Generator, ProportionsAre1To3To46) {
+  Generator g;
+  uint64_t persons = 0, auctions = 0, bids = 0;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    switch (g.At(i).kind) {
+      case Event::Kind::kPerson: persons++; break;
+      case Event::Kind::kAuction: auctions++; break;
+      case Event::Kind::kBid: bids++; break;
+    }
+  }
+  EXPECT_EQ(persons, 100u);
+  EXPECT_EQ(auctions, 300u);
+  EXPECT_EQ(bids, 4600u);
+}
+
+TEST(Generator, CountsBeforeMatchEnumeration) {
+  Generator g;
+  uint64_t persons = 0, auctions = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_EQ(Generator::PersonsBefore(i), persons) << i;
+    EXPECT_EQ(Generator::AuctionsBefore(i), auctions) << i;
+    Event e = g.At(i);
+    if (e.kind == Event::Kind::kPerson) {
+      EXPECT_EQ(e.person.id, persons);
+      persons++;
+    } else if (e.kind == Event::Kind::kAuction) {
+      EXPECT_EQ(e.auction.id, auctions);
+      auctions++;
+    }
+  }
+}
+
+TEST(Generator, TimesAreMonotone) {
+  Generator g;
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t t = g.TimeOf(i);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Generator, ReferencesExistOnArrival) {
+  Generator g;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    Event e = g.At(i);
+    if (e.kind == Event::Kind::kBid) {
+      EXPECT_LT(e.bid.auction, Generator::AuctionsBefore(i));
+      EXPECT_LT(e.bid.bidder, Generator::PersonsBefore(i));
+    } else if (e.kind == Event::Kind::kAuction) {
+      EXPECT_LT(e.auction.seller, Generator::PersonsBefore(i));
+      EXPECT_EQ(e.auction.expires,
+                e.auction.date_time + g.config().auction_duration_ms);
+    }
+  }
+}
+
+TEST(Generator, SerdeRoundTripsEventPayloads) {
+  Generator g;
+  for (uint64_t i = 0; i < 200; ++i) {
+    Event e = g.At(i);
+    if (e.kind == Event::Kind::kPerson) {
+      auto bytes = megaphone::EncodeToBytes(e.person);
+      EXPECT_EQ(megaphone::DecodeFromBytes<Person>(bytes), e.person);
+    } else if (e.kind == Event::Kind::kAuction) {
+      auto bytes = megaphone::EncodeToBytes(e.auction);
+      EXPECT_EQ(megaphone::DecodeFromBytes<Auction>(bytes), e.auction);
+    }
+  }
+}
+
+TEST(QueryState, SerdeRoundTrips) {
+  Q5PerAuction q5;
+  q5.slots = {{3, 7}, {9, 1}};
+  q5.next_flush = 800;
+  auto b1 = megaphone::EncodeToBytes(q5);
+  auto q5b = megaphone::DecodeFromBytes<Q5PerAuction>(b1);
+  EXPECT_EQ(q5b.slots, q5.slots);
+  EXPECT_EQ(q5b.next_flush, q5.next_flush);
+
+  Q8PerPerson q8;
+  q8.window = 4;
+  q8.name = "person-99";
+  q8.emitted = 4;
+  auto b2 = megaphone::EncodeToBytes(q8);
+  auto q8b = megaphone::DecodeFromBytes<Q8PerPerson>(b2);
+  EXPECT_EQ(q8b.window, q8.window);
+  EXPECT_EQ(q8b.name, q8.name);
+  EXPECT_EQ(q8b.emitted, q8.emitted);
+}
+
+// ------------------------------------------------------------ query driver
+
+using Emit = std::function<void(const T&, std::string)>;
+using BuildFn = std::function<timely::ProbeHandle<T>(
+    timely::Scope<T>&, timely::Stream<ControlInst, T>, NexmarkStreams<T>&,
+    Emit)>;
+
+/// Runs `build` on `num_events` generated events over `workers` workers,
+/// optionally migrating 25% of bins out at 1/3 of the stream and back at
+/// 2/3. Returns the sorted formatted outputs.
+std::vector<std::string> RunQuery(uint32_t workers, uint64_t num_events,
+                                  const GeneratorConfig& gcfg,
+                                  bool migrate, uint32_t num_bins,
+                                  BuildFn build) {
+  std::vector<std::string> rows;
+  std::mutex mu;
+  Generator gen(gcfg);
+  const uint64_t span = gen.TimeOf(num_events) + 1;
+
+  timely::Execute(timely::Config{workers}, [&](timely::Worker& w) {
+    struct Handles {
+      timely::Input<ControlInst, T> ctrl;
+      timely::Input<Person, T> persons;
+      timely::Input<Auction, T> auctions;
+      timely::Input<Bid, T> bids;
+      timely::ProbeHandle<T> probe;
+    };
+    auto handles = w.Dataflow<T>([&](timely::Scope<T>& s) -> Handles {
+      auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
+      auto [p_in, p_stream] = timely::NewInput<Person>(s);
+      auto [a_in, a_stream] = timely::NewInput<Auction>(s);
+      auto [b_in, b_stream] = timely::NewInput<Bid>(s);
+      NexmarkStreams<T> streams{p_stream, a_stream, b_stream};
+      auto probe = build(s, ctrl_stream, streams,
+                         [&](const T& t, std::string row) {
+                           std::lock_guard<std::mutex> lock(mu);
+                           rows.push_back(std::to_string(t) + "@" +
+                                          std::move(row));
+                         });
+      return Handles{ctrl_in, p_in, a_in, b_in, probe};
+    });
+    auto& [ctrl_in, p_in, a_in, b_in, probe] = handles;
+
+    typename MigrationController<T>::Options opts;
+    opts.strategy = MigrationStrategy::kBatched;
+    opts.batch_size = 4;
+    MigrationController<T> controller(ctrl_in, probe, w.index(), opts);
+
+    Assignment balanced = MakeInitialAssignment(num_bins, workers);
+    Assignment imbalanced = MakeImbalancedAssignment(num_bins, workers);
+    const uint64_t mig1 = span / 3, mig2 = 2 * span / 3;
+    bool did1 = false, did2 = false;
+
+    uint64_t cur = 0;
+    controller.Advance(0, 1);
+    for (uint64_t i = w.index(); i < num_events; i += workers) {
+      uint64_t t = gen.TimeOf(i);
+      if (t > cur) {
+        if (migrate && !did1 && t >= mig1) {
+          controller.MigrateTo(balanced, imbalanced);
+          did1 = true;
+        }
+        if (migrate && !did2 && t >= mig2) {
+          controller.MigrateTo(imbalanced, balanced);
+          did2 = true;
+        }
+        controller.Advance(t, t + 1);
+        p_in->AdvanceTo(t);
+        a_in->AdvanceTo(t);
+        b_in->AdvanceTo(t);
+        cur = t;
+        w.Step();
+        std::this_thread::yield();
+      }
+      Event e = gen.At(i);
+      switch (e.kind) {
+        case Event::Kind::kPerson: p_in->Send(std::move(e.person)); break;
+        case Event::Kind::kAuction: a_in->Send(std::move(e.auction)); break;
+        case Event::Kind::kBid: b_in->Send(std::move(e.bid)); break;
+      }
+      if (i % 512 == 0) w.Step();
+    }
+    controller.Close(span + 1);
+    p_in->Close();
+    a_in->Close();
+    b_in->Close();
+  });
+
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+GeneratorConfig TestGenConfig() {
+  GeneratorConfig g;
+  g.events_per_sec = 5000;
+  g.auction_duration_ms = 500;
+  g.active_people = 200;
+  g.in_flight_auctions = 50;
+  return g;
+}
+
+QueryConfig TestQueryConfig() {
+  QueryConfig q;
+  q.num_bins = 32;
+  q.q5_slide_ms = 100;
+  q.q5_slices = 5;
+  q.q7_window_ms = 400;
+  q.q8_window_ms = 800;
+  return q;
+}
+
+/// Builds the three variants of query `q` and checks (b) == (a), (c) == (a).
+void CheckQueryEquivalence(int q) {
+  const uint32_t workers = 4;
+  const uint64_t num_events = 25'000;
+  GeneratorConfig gcfg = TestGenConfig();
+  QueryConfig qcfg = TestQueryConfig();
+
+  auto native = [&](timely::Scope<T>&, timely::Stream<ControlInst, T>,
+                    NexmarkStreams<T>& in, Emit emit) {
+    switch (q) {
+      case 1: {
+        auto out = Q1Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q1Out>& d) {
+          for (auto& b : d) {
+            emit(t, std::to_string(b.auction) + "|" + std::to_string(b.price));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 2: {
+        auto out = Q2Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q2Out>& d) {
+          for (auto& [a, p] : d) {
+            emit(t, std::to_string(a) + "|" + std::to_string(p));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 3: {
+        auto out = Q3Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q3Out>& d) {
+          for (auto& [name, city, state, auction] : d) {
+            emit(t, name + "|" + city + "|" + state + "|" +
+                        std::to_string(auction));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 4: {
+        auto out = Q4Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q4Out>& d) {
+          for (auto& [cat, avg] : d) {
+            emit(t, std::to_string(cat) + "|" + std::to_string(avg));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 5: {
+        auto out = Q5Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q5Out>& d) {
+          for (auto& [end, auction] : d) {
+            emit(t, std::to_string(end) + "|" + std::to_string(auction));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 6: {
+        auto out = Q6Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q6Out>& d) {
+          for (auto& [seller, avg] : d) {
+            emit(t, std::to_string(seller) + "|" + std::to_string(avg));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 7: {
+        auto out = Q7Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q7Out>& d) {
+          for (auto& [end, price] : d) {
+            emit(t, std::to_string(end) + "|" + std::to_string(price));
+          }
+        });
+        return timely::Probe(out);
+      }
+      case 8: {
+        auto out = Q8Native(in, qcfg);
+        timely::Sink(out, [emit](const T& t, std::vector<Q8Out>& d) {
+          for (auto& [id, name] : d) {
+            emit(t, std::to_string(id) + "|" + name);
+          }
+        });
+        return timely::Probe(out);
+      }
+    }
+    MEGA_CHECK(false);
+    return timely::ProbeHandle<T>();
+  };
+
+  auto mega = [&](timely::Scope<T>&, timely::Stream<ControlInst, T> ctrl,
+                  NexmarkStreams<T>& in, Emit emit) {
+    switch (q) {
+      case 1: {
+        auto out = Q1Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q1Out>& d) {
+          for (auto& b : d) {
+            emit(t, std::to_string(b.auction) + "|" + std::to_string(b.price));
+          }
+        });
+        return out.probe;
+      }
+      case 2: {
+        auto out = Q2Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q2Out>& d) {
+          for (auto& [a, p] : d) {
+            emit(t, std::to_string(a) + "|" + std::to_string(p));
+          }
+        });
+        return out.probe;
+      }
+      case 3: {
+        auto out = Q3Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q3Out>& d) {
+          for (auto& [name, city, state, auction] : d) {
+            emit(t, name + "|" + city + "|" + state + "|" +
+                        std::to_string(auction));
+          }
+        });
+        return out.probe;
+      }
+      case 4: {
+        auto out = Q4Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q4Out>& d) {
+          for (auto& [cat, avg] : d) {
+            emit(t, std::to_string(cat) + "|" + std::to_string(avg));
+          }
+        });
+        return out.probe;
+      }
+      case 5: {
+        auto out = Q5Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q5Out>& d) {
+          for (auto& [end, auction] : d) {
+            emit(t, std::to_string(end) + "|" + std::to_string(auction));
+          }
+        });
+        return out.probe;
+      }
+      case 6: {
+        auto out = Q6Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q6Out>& d) {
+          for (auto& [seller, avg] : d) {
+            emit(t, std::to_string(seller) + "|" + std::to_string(avg));
+          }
+        });
+        return out.probe;
+      }
+      case 7: {
+        auto out = Q7Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q7Out>& d) {
+          for (auto& [end, price] : d) {
+            emit(t, std::to_string(end) + "|" + std::to_string(price));
+          }
+        });
+        return out.probe;
+      }
+      case 8: {
+        auto out = Q8Mega(ctrl, in, qcfg);
+        timely::Sink(out.stream, [emit](const T& t, std::vector<Q8Out>& d) {
+          for (auto& [id, name] : d) {
+            emit(t, std::to_string(id) + "|" + name);
+          }
+        });
+        return out.probe;
+      }
+    }
+    MEGA_CHECK(false);
+    return timely::ProbeHandle<T>();
+  };
+
+  auto expected =
+      RunQuery(workers, num_events, gcfg, false, qcfg.num_bins, native);
+  ASSERT_FALSE(expected.empty()) << "query produced no output";
+
+  auto mega_plain =
+      RunQuery(workers, num_events, gcfg, false, qcfg.num_bins, mega);
+  EXPECT_EQ(mega_plain, expected) << "megaphone (no migration) differs";
+
+  auto mega_migrated =
+      RunQuery(workers, num_events, gcfg, true, qcfg.num_bins, mega);
+  EXPECT_EQ(mega_migrated, expected) << "megaphone (migrating) differs";
+}
+
+class NexmarkQuery : public ::testing::TestWithParam<int> {};
+
+TEST_P(NexmarkQuery, NativeAndMegaphoneAgreeUnderMigration) {
+  CheckQueryEquivalence(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, NexmarkQuery,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace nexmark

@@ -1,0 +1,218 @@
+// Tests for the progress tracker: graph construction, reachability, and
+// frontier propagation under pointstamp count changes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "timely/progress.hpp"
+
+namespace timely {
+namespace {
+
+// Builds a 3-node chain: Input(1 out) -> Op(1 in, 1 out) -> Sink(1 in).
+struct Chain {
+  GraphSpec spec;
+  uint32_t input_out, op_in, op_out, sink_in;
+
+  Chain() {
+    uint32_t input = spec.AddNode("input");
+    input_out = spec.AddOutputPort(input);
+    uint32_t op = spec.AddNode("op");
+    op_in = spec.AddInputPort(op);
+    op_out = spec.AddOutputPort(op);
+    uint32_t sink = spec.AddNode("sink");
+    sink_in = spec.AddInputPort(sink);
+    spec.AddEdge(input_out, op_in);
+    spec.AddEdge(op_out, sink_in);
+  }
+};
+
+TEST(GraphSpec, LocationsAreDense) {
+  Chain c;
+  EXPECT_EQ(c.input_out, 0u);
+  EXPECT_EQ(c.op_in, 1u);
+  EXPECT_EQ(c.op_out, 2u);
+  EXPECT_EQ(c.sink_in, 3u);
+  EXPECT_EQ(c.spec.num_locations(), 4u);
+  EXPECT_FALSE(c.spec.IsInputLoc(c.input_out));
+  EXPECT_TRUE(c.spec.IsInputLoc(c.op_in));
+  EXPECT_TRUE(c.spec.IsInputLoc(c.sink_in));
+}
+
+TEST(GraphSpec, InputsBeforeOutputsEnforced) {
+  GraphSpec spec;
+  uint32_t n = spec.AddNode("bad");
+  spec.AddOutputPort(n);
+  EXPECT_DEATH(spec.AddInputPort(n), "inputs must be added before");
+}
+
+TEST(Progress, CapabilityAtSourceHoldsDownstreamFrontiers) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 0, +1);  // input capability at epoch 0
+
+  auto f_op = t.FrontierAt(c.op_in);
+  ASSERT_EQ(f_op.elements().size(), 1u);
+  EXPECT_EQ(f_op.elements()[0], 0u);
+  auto f_sink = t.FrontierAt(c.sink_in);
+  ASSERT_EQ(f_sink.elements().size(), 1u);
+  EXPECT_EQ(f_sink.elements()[0], 0u);
+}
+
+TEST(Progress, CapabilityDowngradeAdvancesFrontier) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 0, +1);
+  Change<uint64_t> ch[2] = {{c.input_out, 5, +1}, {c.input_out, 0, -1}};
+  t.Apply(std::span<const Change<uint64_t>>(ch, 2));
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 5u);
+}
+
+TEST(Progress, QueuedMessageHoldsFrontierAtItsOwnPort) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 10, +1);  // source at 10
+  t.ApplyOne(c.op_in, 3, +2);       // two queued messages at time 3
+
+  // The op's input frontier is held at 3 by its own queue.
+  EXPECT_EQ(t.FrontierAt(c.op_in).elements()[0], 3u);
+  // The sink's frontier is also held at 3: those messages may produce
+  // output at time >= 3 when processed.
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 3u);
+
+  t.ApplyOne(c.op_in, 3, -2);  // consumed
+  EXPECT_EQ(t.FrontierAt(c.op_in).elements()[0], 10u);
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 10u);
+}
+
+TEST(Progress, MessageAtDownstreamDoesNotHoldUpstream) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 10, +1);
+  t.ApplyOne(c.sink_in, 3, +1);  // message queued at the sink only
+  // The op input frontier is NOT affected by downstream pointstamps.
+  EXPECT_EQ(t.FrontierAt(c.op_in).elements()[0], 10u);
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 3u);
+  t.ApplyOne(c.sink_in, 3, -1);
+}
+
+TEST(Progress, OperatorCapabilityHoldsOnlyDownstream) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 10, +1);
+  t.ApplyOne(c.op_out, 4, +1);  // op retained a capability at 4
+  EXPECT_EQ(t.FrontierAt(c.op_in).elements()[0], 10u);
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 4u);
+  t.ApplyOne(c.op_out, 4, -1);
+  EXPECT_EQ(t.FrontierAt(c.sink_in).elements()[0], 10u);
+}
+
+TEST(Progress, CompletionWhenAllCountsDrain) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  EXPECT_TRUE(t.Complete());  // vacuously complete before any capability
+  t.ApplyOne(c.input_out, 0, +1);
+  EXPECT_FALSE(t.Complete());
+  t.ApplyOne(c.op_in, 0, +5);
+  t.ApplyOne(c.input_out, 0, -1);
+  EXPECT_FALSE(t.Complete());
+  t.ApplyOne(c.op_in, 0, -5);
+  EXPECT_TRUE(t.Complete());
+  // Empty frontiers everywhere once complete.
+  EXPECT_TRUE(t.FrontierAt(c.sink_in).empty());
+}
+
+TEST(Progress, VersionBumpsOnlyOnFrontierChanges) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 0, +1);
+  uint64_t v1 = t.version();
+  t.ApplyOne(c.op_in, 5, +1);  // time 5 queued; frontiers still at 0
+  EXPECT_EQ(t.version(), v1);
+  t.ApplyOne(c.op_in, 5, -1);
+  EXPECT_EQ(t.version(), v1);
+}
+
+TEST(Progress, SnapshotMatchesPerPortQueries) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  t.ApplyOne(c.input_out, 7, +1);
+  std::vector<Antichain<uint64_t>> snap;
+  t.SnapshotFrontiers(snap);
+  ASSERT_EQ(snap.size(), 2u);  // two input ports: op_in, sink_in
+  EXPECT_TRUE(snap[static_cast<size_t>(t.PortIndexOf(c.op_in))] ==
+              t.FrontierAt(c.op_in));
+  EXPECT_TRUE(snap[static_cast<size_t>(t.PortIndexOf(c.sink_in))] ==
+              t.FrontierAt(c.sink_in));
+}
+
+TEST(Progress, DiamondReachability) {
+  // Input -> A, Input -> B, A -> Join, B -> Join.
+  GraphSpec spec;
+  uint32_t input = spec.AddNode("input");
+  uint32_t input_out = spec.AddOutputPort(input);
+  uint32_t a = spec.AddNode("A");
+  uint32_t a_in = spec.AddInputPort(a);
+  uint32_t a_out = spec.AddOutputPort(a);
+  uint32_t b = spec.AddNode("B");
+  uint32_t b_in = spec.AddInputPort(b);
+  uint32_t b_out = spec.AddOutputPort(b);
+  uint32_t join = spec.AddNode("join");
+  uint32_t join_in1 = spec.AddInputPort(join);
+  uint32_t join_in2 = spec.AddInputPort(join);
+  spec.AddEdge(input_out, a_in);
+  spec.AddEdge(input_out, b_in);
+  spec.AddEdge(a_out, join_in1);
+  spec.AddEdge(b_out, join_in2);
+
+  ProgressTracker<uint64_t> t;
+  t.Finalize(spec);
+  t.ApplyOne(input_out, 2, +1);
+  t.ApplyOne(a_out, 9, +1);  // A holds a capability at 9
+
+  // join_in1 sees min(2 via input->A, 9) = 2; join_in2 sees 2.
+  EXPECT_EQ(t.FrontierAt(join_in1).elements()[0], 2u);
+  EXPECT_EQ(t.FrontierAt(join_in2).elements()[0], 2u);
+
+  // Downgrade input past A's capability: join_in1 held at 9 by A, while
+  // join_in2 advances with the input.
+  Change<uint64_t> ch[2] = {{input_out, 20, +1}, {input_out, 2, -1}};
+  t.Apply(std::span<const Change<uint64_t>>(ch, 2));
+  EXPECT_EQ(t.FrontierAt(join_in1).elements()[0], 9u);
+  EXPECT_EQ(t.FrontierAt(join_in2).elements()[0], 20u);
+}
+
+TEST(Progress, CyclicGraphRejected) {
+  GraphSpec spec;
+  uint32_t a = spec.AddNode("A");
+  uint32_t a_in = spec.AddInputPort(a);
+  uint32_t a_out = spec.AddOutputPort(a);
+  uint32_t b = spec.AddNode("B");
+  uint32_t b_in = spec.AddInputPort(b);
+  uint32_t b_out = spec.AddOutputPort(b);
+  spec.AddEdge(a_out, b_in);
+  spec.AddEdge(b_out, a_in);
+  ProgressTracker<uint64_t> t;
+  EXPECT_DEATH(t.Finalize(spec), "acyclic");
+}
+
+TEST(Progress, MismatchedSpecsRejected) {
+  Chain c;
+  ProgressTracker<uint64_t> t;
+  t.Finalize(c.spec);
+  GraphSpec other;
+  uint32_t n = other.AddNode("solo");
+  other.AddOutputPort(n);
+  EXPECT_DEATH(t.Finalize(other), "structurally different");
+}
+
+}  // namespace
+}  // namespace timely

@@ -1,0 +1,443 @@
+// End-to-end tests of the timely dataflow engine: operators, exchange,
+// probes, notifications, capabilities, and termination.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "timely/timely.hpp"
+
+namespace timely {
+namespace {
+
+using megaphone::HashMix64;
+
+TEST(Timely, MapPipelineSingleWorker) {
+  std::vector<uint64_t> results;
+  std::mutex mu;
+  Execute(Config{1}, [&](Worker& w) {
+    auto handles = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto doubled = Map(stream, [](uint64_t x) { return 2 * x; });
+      Sink(doubled, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto d : data) results.push_back(d);
+      });
+      return std::make_pair(in, Probe(doubled));
+    });
+    auto& [input, probe] = handles;
+    for (uint64_t i = 0; i < 100; ++i) input->Send(i);
+    input->AdvanceTo(1);
+    w.StepUntil([&] { return !probe.LessThan(1); });
+    input->Close();
+  });
+  ASSERT_EQ(results.size(), 100u);
+  for (size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], 2 * i);
+}
+
+TEST(Timely, FilterDropsRecords) {
+  std::atomic<uint64_t> count{0};
+  Execute(Config{1}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto evens = Filter(stream, [](const uint64_t& x) { return x % 2 == 0; });
+      Sink(evens, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        count += data.size();
+      });
+      return in;
+    });
+    for (uint64_t i = 0; i < 1000; ++i) input->Send(i);
+    input->Close();
+  });
+  EXPECT_EQ(count.load(), 500u);
+}
+
+TEST(Timely, FlatMapExpandsRecords) {
+  std::atomic<uint64_t> sum{0};
+  Execute(Config{1}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto out = FlatMap<uint64_t>(stream, [](uint64_t x, auto emit) {
+        emit(x);
+        emit(x + 1);
+      });
+      Sink(out, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        for (auto d : data) sum += d;
+      });
+      return in;
+    });
+    input->Send(10);
+    input->Send(20);
+    input->Close();
+  });
+  EXPECT_EQ(sum.load(), 10u + 11u + 20u + 21u);
+}
+
+TEST(Timely, PipelinePreservesOrderSingleWorker) {
+  std::vector<uint64_t> results;
+  std::mutex mu;
+  Execute(Config{1}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto d : data) results.push_back(d);
+      });
+      return in;
+    });
+    for (uint64_t i = 0; i < 5000; ++i) input->Send(i);
+    input->Close();
+  });
+  ASSERT_EQ(results.size(), 5000u);
+  for (size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i);
+}
+
+class TimelyWorkers : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TimelyWorkers, ExchangePartitionsByKey) {
+  const uint32_t workers = GetParam();
+  constexpr uint64_t kKeys = 1000;
+  std::mutex mu;
+  std::map<uint64_t, std::set<uint32_t>> seen_on;  // key -> workers
+  std::map<uint64_t, int> count;
+
+  Execute(Config{workers}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto exchanged =
+          Exchange(stream, [](const uint64_t& x) { return HashMix64(x); });
+      uint32_t me = s.worker();
+      Sink(exchanged, [&, me](const uint64_t&, std::vector<uint64_t>& data) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto d : data) {
+          seen_on[d].insert(me);
+          count[d]++;
+        }
+      });
+      return in;
+    });
+    // Each worker injects a disjoint share of the keys.
+    for (uint64_t i = w.index(); i < kKeys; i += w.peers()) input->Send(i);
+    input->Close();
+  });
+
+  ASSERT_EQ(count.size(), kKeys);
+  for (auto& [key, workers_seen] : seen_on) {
+    EXPECT_EQ(workers_seen.size(), 1u) << "key on multiple workers";
+    EXPECT_EQ(*workers_seen.begin(), HashMix64(key) % workers);
+    EXPECT_EQ(count[key], 1);
+  }
+}
+
+TEST_P(TimelyWorkers, BroadcastReachesAllWorkers) {
+  const uint32_t workers = GetParam();
+  std::atomic<uint64_t> received{0};
+  Execute(Config{workers}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      OperatorBuilder<uint64_t> b(s, "BroadcastSink");
+      auto* h = b.AddInput(stream, Pact<uint64_t>::Broadcast());
+      b.Build([h, &received](OpCtx<uint64_t>&) {
+        h->ForEach([&](const uint64_t&, std::vector<uint64_t>& data) {
+          received += data.size();
+        });
+      });
+      return in;
+    });
+    if (w.index() == 0) {
+      for (int i = 0; i < 10; ++i) input->Send(i);
+    }
+    input->Close();
+  });
+  EXPECT_EQ(received.load(), 10u * workers);
+}
+
+TEST_P(TimelyWorkers, SumInvariantUnderDoubleExchange) {
+  const uint32_t workers = GetParam();
+  constexpr uint64_t kRecords = 20000;
+  std::atomic<uint64_t> sum{0};
+  Execute(Config{workers}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto once =
+          Exchange(stream, [](const uint64_t& x) { return HashMix64(x); });
+      auto twice =
+          Exchange(once, [](const uint64_t& x) { return HashMix64(x + 1); });
+      Sink(twice, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        for (auto d : data) sum += d;
+      });
+      return in;
+    });
+    for (uint64_t i = w.index(); i < kRecords; i += w.peers()) {
+      input->Send(i);
+      if (i % 1024 == 0) w.Step();  // interleave stepping with sending
+    }
+    input->Close();
+  });
+  EXPECT_EQ(sum.load(), kRecords * (kRecords - 1) / 2);
+}
+
+TEST_P(TimelyWorkers, ProbeTracksEpochs) {
+  const uint32_t workers = GetParam();
+  Execute(Config{workers}, [&](Worker& w) {
+    auto handles = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      auto ex = Exchange(stream, [](const uint64_t& x) { return x; });
+      return std::make_pair(in, Probe(ex));
+    });
+    auto& [input, probe] = handles;
+    for (uint64_t epoch = 0; epoch < 10; ++epoch) {
+      EXPECT_TRUE(probe.LessThan(epoch + 1));
+      input->Send(epoch * 100 + w.index());
+      input->AdvanceTo(epoch + 1);
+      w.StepUntil([&] { return !probe.LessThan(epoch + 1); });
+      // All data at times < epoch+1 is now fully processed.
+      EXPECT_FALSE(probe.LessThan(epoch + 1));
+    }
+    input->Close();
+    w.StepUntil([&] { return probe.Done(); });
+  });
+}
+
+TEST_P(TimelyWorkers, NotificationsFireInTimestampOrder) {
+  const uint32_t workers = GetParam();
+  std::mutex mu;
+  std::map<uint64_t, uint64_t> sums;          // time -> global sum
+  std::vector<uint64_t> delivery_order;       // times as delivered on w0
+
+  Execute(Config{workers}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      OperatorBuilder<uint64_t> b(s, "BatchSum");
+      // Route everything to worker 0 for a global per-time sum.
+      auto* h = b.AddInput(stream,
+                           Pact<uint64_t>::Route([](const uint64_t&) {
+                             return 0u;
+                           }));
+      auto frontier_ptr = h;
+      auto notif = std::make_shared<FrontierNotificator<uint64_t>>();
+      auto pending = std::make_shared<std::map<uint64_t, uint64_t>>();
+      b.Build([=, &mu, &sums, &delivery_order](OpCtx<uint64_t>& ctx) {
+        frontier_ptr->ForEach([&](const uint64_t& t,
+                                  std::vector<uint64_t>& data) {
+          for (auto d : data) (*pending)[t] += d;
+          notif->NotifyAt(ctx, t);
+        });
+        notif->ForEachReady(ctx, {&frontier_ptr->frontier()},
+                            [&](const uint64_t& t) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              sums[t] = (*pending)[t];
+                              delivery_order.push_back(t);
+                              pending->erase(t);
+                            });
+      });
+      return in;
+    });
+    for (uint64_t epoch = 0; epoch < 5; ++epoch) {
+      for (int i = 0; i < 10; ++i) input->Send(epoch + 1);
+      input->AdvanceTo(epoch + 1);
+      w.Step();
+    }
+    input->Close();
+  });
+
+  ASSERT_EQ(sums.size(), 5u);
+  for (uint64_t epoch = 0; epoch < 5; ++epoch) {
+    // 10 records of value epoch+1 per worker.
+    EXPECT_EQ(sums[epoch], (epoch + 1) * 10 * workers);
+  }
+  // Notifications were delivered in increasing timestamp order.
+  for (size_t i = 1; i < delivery_order.size(); ++i) {
+    EXPECT_LT(delivery_order[i - 1], delivery_order[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, TimelyWorkers,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Timely, StatefulUnaryWordCount) {
+  std::mutex mu;
+  std::map<std::string, uint64_t> final_counts;
+  using Word = std::pair<std::string, uint64_t>;  // (word, diff)
+  Execute(Config{4}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<Word>(s);
+      auto counts = StatefulUnary<std::map<std::string, uint64_t>, Word>(
+          stream, "WordCount",
+          [](const Word& w_) { return megaphone::HashBytes(w_.first); },
+          [](const uint64_t& t, std::vector<Word>& data,
+             std::map<std::string, uint64_t>& state, OpCtx<uint64_t>&,
+             OutputHandle<Word, uint64_t>& out) {
+            for (auto& [word, diff] : data) {
+              state[word] += diff;
+              out.Send(t, Word{word, state[word]});
+            }
+          });
+      Sink(counts, [&](const uint64_t&, std::vector<Word>& data) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto& [word, count] : data) {
+          auto& c = final_counts[word];
+          c = std::max(c, count);
+        }
+      });
+      return in;
+    });
+    if (w.index() == 0) {
+      for (int i = 0; i < 7; ++i) input->Send({"apple", 1});
+      for (int i = 0; i < 3; ++i) input->Send({"banana", 1});
+    } else if (w.index() == 1) {
+      for (int i = 0; i < 5; ++i) input->Send({"apple", 1});
+    }
+    input->Close();
+  });
+  EXPECT_EQ(final_counts["apple"], 12u);
+  EXPECT_EQ(final_counts["banana"], 3u);
+}
+
+TEST(Timely, ConcatMergesStreams) {
+  std::atomic<uint64_t> total{0};
+  Execute(Config{2}, [&](Worker& w) {
+    auto inputs = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in1, s1] = NewInput<uint64_t>(s);
+      auto [in2, s2] = NewInput<uint64_t>(s);
+      auto merged = Concat(s1, s2);
+      Sink(merged, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        total += data.size();
+      });
+      return std::make_pair(in1, in2);
+    });
+    auto& [in1, in2] = inputs;
+    for (int i = 0; i < 10; ++i) in1->Send(i);
+    for (int i = 0; i < 20; ++i) in2->Send(i);
+    in1->Close();
+    in2->Close();
+  });
+  EXPECT_EQ(total.load(), 2u * (10 + 20));
+}
+
+TEST(Timely, MultipleDataflowsRunIndependently) {
+  std::atomic<uint64_t> a{0}, b{0};
+  Execute(Config{2}, [&](Worker& w) {
+    auto in_a = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [&](const uint64_t&, std::vector<uint64_t>& d) {
+        a += d.size();
+      });
+      return in;
+    });
+    auto in_b = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [&](const uint64_t&, std::vector<uint64_t>& d) {
+        b += d.size();
+      });
+      return in;
+    });
+    in_a->Send(1);
+    in_b->Send(1);
+    in_b->Send(2);
+    in_a->Close();
+    in_b->Close();
+  });
+  EXPECT_EQ(a.load(), 2u);
+  EXPECT_EQ(b.load(), 4u);
+}
+
+TEST(Timely, EmptyDataflowTerminates) {
+  Execute(Config{4}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [](const uint64_t&, std::vector<uint64_t>&) {});
+      return in;
+    });
+    input->Close();
+  });
+  SUCCEED();
+}
+
+TEST(Timely, InputHandleClosesOnDrop) {
+  // Dropping the handle (without explicit Close) must release the
+  // capability so the dataflow can complete.
+  Execute(Config{2}, [&](Worker& w) {
+    auto input = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [](const uint64_t&, std::vector<uint64_t>&) {});
+      return in;
+    });
+    input->Send(3);
+    input.reset();  // drop
+  });
+  SUCCEED();
+}
+
+TEST(Timely, ProductTimestampsFlowThroughEngine) {
+  using P = Product<uint64_t, uint64_t>;
+  std::atomic<uint64_t> count{0};
+  Execute(Config{2}, [&](Worker& w) {
+    auto handles = w.Dataflow<P>([&](Scope<P>& s) {
+      auto [in, stream] = NewInput<uint64_t, P>(s);
+      auto ex = Exchange(stream, [](const uint64_t& x) { return x; });
+      Sink(ex, [&](const P&, std::vector<uint64_t>& data) {
+        count += data.size();
+      });
+      return std::make_pair(in, Probe(ex));
+    });
+    auto& [input, probe] = handles;
+    input->Send(w.index());
+    input->AdvanceTo(P{1, 0});
+    input->Send(100 + w.index());
+    input->AdvanceTo(P{1, 1});
+    w.StepUntil([&] { return !probe.LessThan(P{1, 1}); });
+    input->Close();
+  });
+  EXPECT_EQ(count.load(), 4u);
+}
+
+TEST(Timely, CapabilityRetainHoldsDownstreamFrontier) {
+  // An operator that retains a capability and releases it later delays
+  // downstream notification until the release.
+  std::atomic<bool> released{false};
+  std::atomic<bool> fired_before_release{false};
+  Execute(Config{1}, [&](Worker& w) {
+    auto handles = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      OperatorBuilder<uint64_t> b(s, "Holder");
+      auto* h = b.AddInput(stream, Pact<uint64_t>::Pipeline());
+      auto [out, held] = b.AddOutput<uint64_t>();
+      auto got = std::make_shared<bool>(false);
+      auto release_count = std::make_shared<int>(0);
+      b.Build([=, &released](OpCtx<uint64_t>& ctx) {
+        h->ForEach([&](const uint64_t& t, std::vector<uint64_t>& data) {
+          if (!*got) {
+            ctx.Retain(t);  // hold the frontier at t
+            *got = true;
+          }
+          out->SendBatch(t, std::move(data));
+        });
+        if (*got && released.load() && *release_count == 0) {
+          ctx.Release(0);
+          (*release_count)++;
+        }
+      });
+      return std::make_pair(in, Probe(held));
+    });
+    auto& [input, probe] = handles;
+    input->Send(42);
+    input->AdvanceTo(5);
+    for (int i = 0; i < 100; ++i) w.Step();
+    // Frontier must still be held at 0 by the retained capability.
+    if (!probe.LessThan(5)) fired_before_release = true;
+    released = true;
+    w.StepUntil([&] { return !probe.LessThan(5); });
+    input->Close();
+  });
+  EXPECT_FALSE(fired_before_release.load());
+}
+
+}  // namespace
+}  // namespace timely
