@@ -62,6 +62,95 @@ inline void PrintMigrationSummary(const char* strategy, uint64_t param,
   }
 }
 
+/// Minimal ordered JSON emitter for machine-readable bench reports
+/// (BENCH_*.json). Supports nested objects/arrays with correct comma
+/// placement; numbers are printed with enough precision to round-trip.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& k) {
+    Comma();
+    AppendString(k);
+    out_ += ": ";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& v) {
+    Comma();
+    AppendString(v);
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(double v) {
+    Comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Value(uint64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& Str() const { return out_; }
+
+ private:
+  void Comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value directly follows its key
+    }
+    if (!first_) out_ += ", ";
+    first_ = false;
+  }
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    first_ = false;
+    return *this;
+  }
+  void AppendString(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
 /// Minimal command-line flags: --key=value or --key value. Unknown keys
 /// are ignored so every bench accepts the common set.
 class Flags {

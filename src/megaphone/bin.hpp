@@ -93,6 +93,69 @@ struct BinsShared {
   }
 };
 
+/// Per-time stash of incoming records grouped by destination bin: a flat
+/// vector indexed by BinId — the per-time bin queues of §4.3 without any
+/// per-(time, bin) hashing. The record path is a single indexed push;
+/// occupancy is recovered by scanning the (small, cache-resident) bin
+/// index at apply time. Slots keep their capacity when cleared, and whole
+/// stashes are recycled through BinStashPool, so the steady state
+/// allocates nothing per (time, bin).
+template <typename D>
+struct BinStash {
+  std::vector<std::vector<D>> by_bin;
+
+  void EnsureBins(uint32_t n) {
+    if (by_bin.size() < n) by_bin.resize(n);
+  }
+
+  bool Has(BinId b) const { return !by_bin[b].empty(); }
+
+  /// Record vector of `b`.
+  std::vector<D>& SlotRef(BinId b) { return by_bin[b]; }
+
+  /// Appends every nonempty bin id to `out`, in increasing order.
+  void AppendOccupied(std::vector<BinId>& out) const {
+    for (BinId b = 0; b < by_bin.size(); ++b) {
+      if (!by_bin[b].empty()) out.push_back(b);
+    }
+  }
+
+  /// Clears every slot (keeping capacity).
+  void Reset() {
+    for (auto& v : by_bin) {
+      if (!v.empty()) v.clear();
+    }
+  }
+};
+
+/// Free list of BinStash instances. Single-threaded: each S operator owns
+/// one pool, and F/S co-located on a worker run on that worker's thread.
+template <typename D>
+class BinStashPool {
+ public:
+  BinStash<D> Acquire(uint32_t num_bins) {
+    if (free_.empty()) {
+      BinStash<D> s;
+      s.EnsureBins(num_bins);
+      return s;
+    }
+    BinStash<D> s = std::move(free_.back());
+    free_.pop_back();
+    s.EnsureBins(num_bins);
+    return s;
+  }
+
+  void Recycle(BinStash<D>&& s) {
+    s.Reset();
+    free_.push_back(std::move(s));
+  }
+
+  size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<BinStash<D>> free_;
+};
+
 /// A migrating bin in flight on the state channel: the serialized payload
 /// plus its destination. Serialization is deliberate — its cost is
 /// proportional to the state size, which is what makes migration duration

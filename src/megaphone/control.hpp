@@ -54,13 +54,15 @@ template <typename T>
 class RoutingTable {
  public:
   RoutingTable(uint32_t num_bins, uint32_t workers)
-      : workers_(workers), history_(num_bins) {
+      : workers_(workers), history_(num_bins), flat_(num_bins),
+        max_version_time_(timely::TimestampTraits<T>::Minimum()) {
     MEGA_CHECK_GT(num_bins, 0u);
     MEGA_CHECK((num_bins & (num_bins - 1)) == 0)
         << "bin count must be a power of two";
     for (BinId b = 0; b < num_bins; ++b) {
       history_[b].emplace_back(timely::TimestampTraits<T>::Minimum(),
                                InitialOwner(b, workers));
+      flat_[b] = InitialOwner(b, workers);
     }
   }
 
@@ -70,6 +72,10 @@ class RoutingTable {
   /// Owner of `bin` for records at time `t`: the latest version with
   /// effective time ≤ t.
   uint32_t WorkerAt(const T& t, BinId bin) const {
+    if (flat_valid_ &&
+        timely::TimestampTraits<T>::LessEqual(max_version_time_, t)) {
+      return flat_[bin];  // t sees every bin's latest version
+    }
     const auto& h = history_[bin];
     for (auto it = h.rbegin(); it != h.rend(); ++it) {
       if (timely::TimestampTraits<T>::LessEqual(it->first, t)) {
@@ -78,6 +84,19 @@ class RoutingTable {
     }
     MEGA_CHECK(false) << "no routing version at or before requested time";
     return 0;
+  }
+
+  /// Flat per-bin owner array, valid for routing at `t` iff `t` is at or
+  /// past every stored version (the steady state between migrations);
+  /// nullptr when some bin has a version in advance of `t` — or when
+  /// versions at mutually incomparable times have made the single upper
+  /// bound meaningless — in which case callers must take the per-record
+  /// WorkerAt path.
+  const uint32_t* FlatOwnersAt(const T& t) const {
+    return flat_valid_ &&
+                   timely::TimestampTraits<T>::LessEqual(max_version_time_, t)
+               ? flat_.data()
+               : nullptr;
   }
 
   /// Owner of `bin` just before an update at time `t` takes effect: the
@@ -105,6 +124,15 @@ class RoutingTable {
     } else {
       h.emplace_back(t, worker);
     }
+    flat_[bin] = worker;
+    if (timely::TimestampTraits<T>::LessEqual(max_version_time_, t)) {
+      max_version_time_ = t;
+    } else if (!timely::TimestampTraits<T>::LessEqual(t, max_version_time_)) {
+      // `t` is incomparable to the running bound (partially ordered T):
+      // no stored single time bounds every version any more, so the flat
+      // fast path would misroute queries between the two; disable it.
+      flat_valid_ = false;
+    }
   }
 
   /// Drops versions that can no longer be consulted: every version
@@ -130,6 +158,9 @@ class RoutingTable {
  private:
   uint32_t workers_;
   std::vector<std::vector<std::pair<T, uint32_t>>> history_;
+  std::vector<uint32_t> flat_;  // owner at each bin's latest version
+  T max_version_time_;     // upper bound on every version time while valid
+  bool flat_valid_ = true;  // false once version times became incomparable
 };
 
 /// Operator F's control-plane state: buffered (not yet final) updates, the

@@ -26,11 +26,14 @@
 // the paper's central claim.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -45,6 +48,21 @@
 
 namespace megaphone {
 
+#ifdef MEGA_PROF_HOT
+struct HotProf {
+  std::atomic<uint64_t> f_route{0}, s_ingest{0}, s_apply{0};
+};
+inline HotProf& hot_prof() {
+  static HotProf p;
+  return p;
+}
+#define MEGA_PROF_BEGIN(v) uint64_t prof_##v = NowNanos()
+#define MEGA_PROF_END(v) hot_prof().v += NowNanos() - prof_##v
+#else
+#define MEGA_PROF_BEGIN(v)
+#define MEGA_PROF_END(v)
+#endif
+
 /// Configuration of a Megaphone stateful operator.
 struct Config {
   /// Number of bins; must be a power of two, fixed at construction
@@ -57,11 +75,34 @@ struct Config {
   std::string name = "Stateful";
 };
 
-/// A record in flight from F to S, tagged with its destination worker.
+/// A record in flight from F to S, tagged with its destination worker and
+/// bin. Carrying the bin id saves S from recomputing the key function on
+/// every record.
 template <typename D>
 struct Routed {
   uint32_t target = 0;
+  BinId bin = 0;
   D payload{};
+};
+
+/// Same-thread F→S handoff for self-routed records. Co-located F and S
+/// run on one worker thread (paper §3.4: they share the bin container
+/// without synchronization), so bundles routed to the own worker skip the
+/// channel, and their produced/consumed progress deltas — which would net
+/// to zero inside the worker step's consolidated batch — are never staged
+/// at all. S notes the input time instead, which grants the same
+/// capability basis as a channel delivery.
+template <typename D, typename T>
+struct SelfInbox {
+  std::vector<std::pair<T, std::vector<Routed<D>>>> bundles;
+  std::vector<std::vector<Routed<D>>> pool;  // recycled group buffers
+
+  std::vector<Routed<D>> TakeBuffer() {
+    if (pool.empty()) return {};
+    std::vector<Routed<D>> v = std::move(pool.back());
+    pool.pop_back();
+    return v;
+  }
 };
 
 /// Result of constructing a stateful operator: its output stream plus a
@@ -175,6 +216,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
 
   auto shared = std::make_shared<BinsShared<BinT, T>>(num_bins);
   auto probe_slot = std::make_shared<timely::ProbeHandle<T>>();
+  auto inbox = std::make_shared<SelfInbox<D, T>>();
 
   // ------------------------------------------------------------------ F
   OperatorBuilder<T> fb(scope, cfg.name + "_F");
@@ -189,20 +231,50 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
 
   struct FState {
     FState(uint32_t bins, uint32_t workers, uint32_t me)
-        : cs(bins, workers, me) {}
+        : cs(bins, workers, me), route_scratch(workers) {}
     ControlState<T> cs;
     std::map<T, std::vector<D>> stash;
+    std::vector<std::vector<Routed<D>>> route_scratch;  // per target worker
     uint64_t steps = 0;
   };
   auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
 
   fb.Build([=](OpCtx<T>& ctx) {
+    // Routes a whole batch: records are grouped per destination worker in
+    // pooled scratch buffers, then each group leaves as one zero-copy
+    // bundle. In the steady state between migrations the owner lookup is
+    // a flat array load per record.
     auto route_batch = [&](const T& t, std::vector<D>& recs) {
-      for (auto& r : recs) {
-        BinId b = BinOf(key_fn(r), num_bins);
-        uint32_t w = fs->cs.routing().WorkerAt(t, b);
-        routed_out->Send(t, Routed<D>{w, std::move(r)});
+      MEGA_PROF_BEGIN(f_route);
+      auto& per_target = fs->route_scratch;
+      const auto& routing = fs->cs.routing();
+      if (const uint32_t* owners = routing.FlatOwnersAt(t)) {
+        auto* groups = per_target.data();
+        for (auto& r : recs) {
+          BinId b = BinOf(key_fn(r), num_bins);
+          uint32_t w = owners[b];
+          groups[w].push_back(Routed<D>{w, b, std::move(r)});
+        }
+      } else {
+        for (auto& r : recs) {
+          BinId b = BinOf(key_fn(r), num_bins);
+          uint32_t w = routing.WorkerAt(t, b);
+          per_target[w].push_back(Routed<D>{w, b, std::move(r)});
+        }
       }
+      const uint32_t me = ctx.worker();
+      for (uint32_t w = 0; w < per_target.size(); ++w) {
+        if (per_target[w].empty()) continue;
+        if (w == me) {
+          // Same-thread handoff: S (scheduled after F in this very step)
+          // drains the inbox; no channel, no progress counts.
+          inbox->bundles.emplace_back(t, std::move(per_target[w]));
+          per_target[w] = inbox->TakeBuffer();
+        } else {
+          routed_out->SendBundle(t, w, per_target[w]);
+        }
+      }
+      MEGA_PROF_END(f_route);
     };
 
     // 1. Ingest configuration updates (retain a capability per time: F
@@ -275,8 +347,11 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
   auto [out, out_stream] = sb.template AddOutput<R>();
 
   struct SState {
-    std::map<T, std::unordered_map<BinId, std::vector<D>>> queue;
+    std::map<T, BinStash<D>> queue;  // per-time flat stash, pooled
+    BinStashPool<D> pool;
     std::set<T> held;
+    std::vector<BinId> bins_scratch;
+    std::vector<D> recs_scratch;  // bins with only post-dated records
   };
   auto ss = std::make_shared<SState>();
 
@@ -304,19 +379,37 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
       }
     });
 
-    // 2. Stash incoming records per (time, bin).
-    s_data_in->ForEach([&](const T& t, std::vector<Routed<D>>& recs) {
+    // 2. Stash incoming records per time, flat by bin (F already computed
+    //    each record's bin): first bundles handed over by the co-located
+    //    F this very step, then channel deliveries from remote workers.
+    auto stash_records = [&](const T& t, std::vector<Routed<D>>& recs) {
+      MEGA_PROF_BEGIN(s_ingest);
       hold(t);
-      auto& by_bin = ss->queue[t];
-      for (auto& r : recs) {
-        MEGA_CHECK_EQ(r.target, ctx.worker());
-        BinId b = BinOf(key_fn(r.payload), num_bins);
-        by_bin[b].push_back(std::move(r.payload));
+      auto it = ss->queue.find(t);
+      if (it == ss->queue.end()) {
+        it = ss->queue.emplace(t, ss->pool.Acquire(num_bins)).first;
       }
-    });
+      auto* slots = it->second.by_bin.data();
+      for (auto& r : recs) {
+        MEGA_DCHECK(r.target == ctx.worker()) << "misrouted record";
+        slots[r.bin].push_back(std::move(r.payload));
+      }
+      MEGA_PROF_END(s_ingest);
+    };
+    if (!inbox->bundles.empty()) {
+      for (auto& [t, recs] : inbox->bundles) {
+        ctx.NoteInputTime(t);
+        stash_records(t, recs);
+        recs.clear();
+        inbox->pool.push_back(std::move(recs));
+      }
+      inbox->bundles.clear();
+    }
+    s_data_in->ForEach(stash_records);
 
     // 3. Apply, in timestamp order, every time in advance of neither the
     //    data-input nor the state-input frontier.
+    MEGA_PROF_BEGIN(s_apply);
     const auto& f_data = s_data_in->frontier();
     const auto& f_state = s_state_in->frontier();
     while (true) {
@@ -328,38 +421,50 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
       }
       if (!t || f_data.LessEqual(*t) || f_state.LessEqual(*t)) break;
 
-      // Bins with work at *t: stashed input records and/or pending
-      // post-dated records.
-      std::set<BinId> bins_at_t;
+      // Bins with work at *t: stashed input records (the occupancy list)
+      // and/or pending post-dated records; sorted for deterministic
+      // application order.
       auto qit = ss->queue.find(*t);
-      if (qit != ss->queue.end()) {
-        for (const auto& [b, _] : qit->second) bins_at_t.insert(b);
-      }
+      BinStash<D>* stash = qit != ss->queue.end() ? &qit->second : nullptr;
+      auto& bins_at_t = ss->bins_scratch;
+      bins_at_t.clear();
+      if (stash) stash->AppendOccupied(bins_at_t);  // increasing order
+      size_t sorted_prefix = bins_at_t.size();
       auto pit = shared->pending_bins.find(*t);
       if (pit != shared->pending_bins.end()) {
-        for (BinId b : pit->second) bins_at_t.insert(b);
+        for (BinId b : pit->second) {
+          if (!stash || !stash->Has(b)) bins_at_t.push_back(b);
+        }
+      }
+      if (bins_at_t.size() != sorted_prefix) {
+        std::sort(bins_at_t.begin(), bins_at_t.end());
       }
       for (BinId b : bins_at_t) {
         auto& slot = shared->bins[b];
         if (!slot) slot = std::make_unique<BinT>();  // first touch
-        std::vector<D> recs;
-        if (qit != ss->queue.end()) {
-          auto f = qit->second.find(b);
-          if (f != qit->second.end()) recs = std::move(f->second);
+        std::vector<D>* recs = &ss->recs_scratch;
+        if (stash && stash->Has(b)) {
+          recs = &stash->SlotRef(b);
+        } else {
+          recs->clear();
         }
         auto pf = slot->pending.find(*t);
         if (pf != slot->pending.end()) {
-          recs.insert(recs.end(),
-                      std::make_move_iterator(pf->second.begin()),
-                      std::make_move_iterator(pf->second.end()));
+          recs->insert(recs->end(),
+                       std::make_move_iterator(pf->second.begin()),
+                       std::make_move_iterator(pf->second.end()));
           slot->pending.erase(pf);
         }
         detail::SchedulerImpl<BinT, D, T, &BinT::pending> sched(
             shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
-        fold(*t, slot->state, recs,
+        fold(*t, slot->state, *recs,
              [&](R r) { out->Send(*t, std::move(r)); }, sched);
+        recs->clear();  // slot capacity stays with the pooled stash
       }
-      if (qit != ss->queue.end()) ss->queue.erase(qit);
+      if (qit != ss->queue.end()) {
+        ss->pool.Recycle(std::move(qit->second));
+        ss->queue.erase(qit);
+      }
       pit = shared->pending_bins.find(*t);
       if (pit != shared->pending_bins.end()) shared->pending_bins.erase(pit);
       if (ss->held.count(*t)) {
@@ -367,6 +472,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
         ss->held.erase(*t);
       }
     }
+    MEGA_PROF_END(s_apply);
 
     // 4. Release capabilities whose pending work vanished because F
     //    extracted the bins holding it (the records migrated away).
@@ -418,6 +524,8 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
 
   auto shared = std::make_shared<BinsShared<BinT, T>>(num_bins);
   auto probe_slot = std::make_shared<timely::ProbeHandle<T>>();
+  auto inbox1 = std::make_shared<SelfInbox<D1, T>>();
+  auto inbox2 = std::make_shared<SelfInbox<D2, T>>();
 
   // ------------------------------------------------------------------ F
   OperatorBuilder<T> fb(scope, cfg.name + "_F");
@@ -434,27 +542,51 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
 
   struct FState {
     FState(uint32_t bins, uint32_t workers, uint32_t me)
-        : cs(bins, workers, me) {}
+        : cs(bins, workers, me), scratch1(workers), scratch2(workers) {}
     ControlState<T> cs;
     std::map<T, std::pair<std::vector<D1>, std::vector<D2>>> stash;
+    std::vector<std::vector<Routed<D1>>> scratch1;  // per target worker
+    std::vector<std::vector<Routed<D2>>> scratch2;
     uint64_t steps = 0;
   };
   auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
 
   fb.Build([=](OpCtx<T>& ctx) {
-    auto route1 = [&](const T& t, std::vector<D1>& recs) {
-      for (auto& r : recs) {
-        BinId b = BinOf(key_fn1(r), num_bins);
-        routed1_out->Send(
-            t, Routed<D1>{fs->cs.routing().WorkerAt(t, b), std::move(r)});
+    // Per-target grouping with flat owner lookups and the same-thread
+    // inbox handoff, as in the unary F.
+    auto route_any = [&](const T& t, auto& recs, auto key, auto& per_target,
+                         auto* routed_out_handle, auto& self_inbox) {
+      const auto& routing = fs->cs.routing();
+      using RecT = typename std::decay_t<decltype(recs)>::value_type;
+      if (const uint32_t* owners = routing.FlatOwnersAt(t)) {
+        for (auto& r : recs) {
+          BinId b = BinOf(key(r), num_bins);
+          uint32_t w = owners[b];
+          per_target[w].push_back(Routed<RecT>{w, b, std::move(r)});
+        }
+      } else {
+        for (auto& r : recs) {
+          BinId b = BinOf(key(r), num_bins);
+          uint32_t w = routing.WorkerAt(t, b);
+          per_target[w].push_back(Routed<RecT>{w, b, std::move(r)});
+        }
+      }
+      const uint32_t me = ctx.worker();
+      for (uint32_t w = 0; w < per_target.size(); ++w) {
+        if (per_target[w].empty()) continue;
+        if (w == me) {
+          self_inbox.bundles.emplace_back(t, std::move(per_target[w]));
+          per_target[w] = self_inbox.TakeBuffer();
+        } else {
+          routed_out_handle->SendBundle(t, w, per_target[w]);
+        }
       }
     };
+    auto route1 = [&](const T& t, std::vector<D1>& recs) {
+      route_any(t, recs, key_fn1, fs->scratch1, routed1_out, *inbox1);
+    };
     auto route2 = [&](const T& t, std::vector<D2>& recs) {
-      for (auto& r : recs) {
-        BinId b = BinOf(key_fn2(r), num_bins);
-        routed2_out->Send(
-            t, Routed<D2>{fs->cs.routing().WorkerAt(t, b), std::move(r)});
-      }
+      route_any(t, recs, key_fn2, fs->scratch2, routed2_out, *inbox2);
     };
     auto stash_at = [&](const T& t)
         -> std::pair<std::vector<D1>, std::vector<D2>>& {
@@ -539,9 +671,14 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
   auto [out, out_stream] = sb.template AddOutput<R>();
 
   struct SState {
-    std::map<T, std::unordered_map<BinId, std::vector<D1>>> queue1;
-    std::map<T, std::unordered_map<BinId, std::vector<D2>>> queue2;
+    std::map<T, BinStash<D1>> queue1;
+    std::map<T, BinStash<D2>> queue2;
+    BinStashPool<D1> pool1;
+    BinStashPool<D2> pool2;
     std::set<T> held;
+    std::vector<BinId> bins_scratch;
+    std::vector<D1> recs1_scratch;
+    std::vector<D2> recs2_scratch;
   };
   auto ss = std::make_shared<SState>();
 
@@ -571,21 +708,36 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
       }
     });
 
-    s1_in->ForEach([&](const T& t, std::vector<Routed<D1>>& recs) {
+    auto stash_into = [&](auto& queue, auto& pool, const auto& t,
+                          auto& recs) {
       hold(t);
-      auto& by_bin = ss->queue1[t];
-      for (auto& r : recs) {
-        by_bin[BinOf(key_fn1(r.payload), num_bins)].push_back(
-            std::move(r.payload));
+      auto it = queue.find(t);
+      if (it == queue.end()) {
+        it = queue.emplace(t, pool.Acquire(num_bins)).first;
       }
+      auto* slots = it->second.by_bin.data();
+      for (auto& r : recs) {
+        MEGA_DCHECK(r.target == ctx.worker()) << "misrouted record";
+        slots[r.bin].push_back(std::move(r.payload));
+      }
+    };
+    auto drain_inbox = [&](auto& self_inbox, auto& queue, auto& pool) {
+      if (self_inbox.bundles.empty()) return;
+      for (auto& [t, recs] : self_inbox.bundles) {
+        ctx.NoteInputTime(t);
+        stash_into(queue, pool, t, recs);
+        recs.clear();
+        self_inbox.pool.push_back(std::move(recs));
+      }
+      self_inbox.bundles.clear();
+    };
+    drain_inbox(*inbox1, ss->queue1, ss->pool1);
+    drain_inbox(*inbox2, ss->queue2, ss->pool2);
+    s1_in->ForEach([&](const T& t, std::vector<Routed<D1>>& recs) {
+      stash_into(ss->queue1, ss->pool1, t, recs);
     });
     s2_in->ForEach([&](const T& t, std::vector<Routed<D2>>& recs) {
-      hold(t);
-      auto& by_bin = ss->queue2[t];
-      for (auto& r : recs) {
-        by_bin[BinOf(key_fn2(r.payload), num_bins)].push_back(
-            std::move(r.payload));
-      }
+      stash_into(ss->queue2, ss->pool2, t, recs);
     });
 
     const auto& f1 = s1_in->frontier();
@@ -603,32 +755,37 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
       if (!t || f1.LessEqual(*t) || f2.LessEqual(*t) || fstate.LessEqual(*t))
         break;
 
-      std::set<BinId> bins_at_t;
       auto q1 = ss->queue1.find(*t);
       auto q2 = ss->queue2.find(*t);
-      if (q1 != ss->queue1.end()) {
-        for (const auto& [b, _] : q1->second) bins_at_t.insert(b);
-      }
-      if (q2 != ss->queue2.end()) {
-        for (const auto& [b, _] : q2->second) bins_at_t.insert(b);
-      }
+      BinStash<D1>* stash1 = q1 != ss->queue1.end() ? &q1->second : nullptr;
+      BinStash<D2>* stash2 = q2 != ss->queue2.end() ? &q2->second : nullptr;
+      auto& bins_at_t = ss->bins_scratch;
+      bins_at_t.clear();
+      if (stash1) stash1->AppendOccupied(bins_at_t);
+      if (stash2) stash2->AppendOccupied(bins_at_t);
       auto pit = shared->pending_bins.find(*t);
       if (pit != shared->pending_bins.end()) {
-        for (BinId b : pit->second) bins_at_t.insert(b);
+        bins_at_t.insert(bins_at_t.end(), pit->second.begin(),
+                         pit->second.end());
       }
+      std::sort(bins_at_t.begin(), bins_at_t.end());
+      bins_at_t.erase(std::unique(bins_at_t.begin(), bins_at_t.end()),
+                      bins_at_t.end());
 
       for (BinId b : bins_at_t) {
         auto& slot = shared->bins[b];
         if (!slot) slot = std::make_unique<BinT>();
-        std::vector<D1> recs1;
-        std::vector<D2> recs2;
-        if (q1 != ss->queue1.end()) {
-          auto f = q1->second.find(b);
-          if (f != q1->second.end()) recs1 = std::move(f->second);
+        std::vector<D1>* recs1 = &ss->recs1_scratch;
+        std::vector<D2>* recs2 = &ss->recs2_scratch;
+        if (stash1 && stash1->Has(b)) {
+          recs1 = &stash1->SlotRef(b);
+        } else {
+          recs1->clear();
         }
-        if (q2 != ss->queue2.end()) {
-          auto f = q2->second.find(b);
-          if (f != q2->second.end()) recs2 = std::move(f->second);
+        if (stash2 && stash2->Has(b)) {
+          recs2 = &stash2->SlotRef(b);
+        } else {
+          recs2->clear();
         }
         auto move_pending = [&](auto& pending, auto& recs) {
           auto pf = pending.find(*t);
@@ -639,8 +796,8 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
             pending.erase(pf);
           }
         };
-        move_pending(slot->pending1, recs1);
-        move_pending(slot->pending2, recs2);
+        move_pending(slot->pending1, *recs1);
+        move_pending(slot->pending2, *recs2);
         detail::SchedulerImpl<BinT, D1, T, &BinT::pending1> sched1(
             shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
         detail::SchedulerImpl<BinT, D2, T, &BinT::pending2> sched2(
@@ -651,11 +808,19 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
           void Schedule1(const T& t2, D1 r) { s1.ScheduleAt(t2, std::move(r)); }
           void Schedule2(const T& t2, D2 r) { s2.ScheduleAt(t2, std::move(r)); }
         } scheds{sched1, sched2};
-        fold(*t, slot->state, recs1, recs2,
+        fold(*t, slot->state, *recs1, *recs2,
              [&](R r) { out->Send(*t, std::move(r)); }, scheds);
+        recs1->clear();
+        recs2->clear();
       }
-      if (q1 != ss->queue1.end()) ss->queue1.erase(q1);
-      if (q2 != ss->queue2.end()) ss->queue2.erase(q2);
+      if (q1 != ss->queue1.end()) {
+        ss->pool1.Recycle(std::move(q1->second));
+        ss->queue1.erase(q1);
+      }
+      if (q2 != ss->queue2.end()) {
+        ss->pool2.Recycle(std::move(q2->second));
+        ss->queue2.erase(q2);
+      }
       pit = shared->pending_bins.find(*t);
       if (pit != shared->pending_bins.end()) shared->pending_bins.erase(pit);
       if (ss->held.count(*t)) {

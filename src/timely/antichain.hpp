@@ -103,7 +103,9 @@ class MutableAntichain {
     }
     // The frontier can only change when the support of positive counts
     // changes at t.
-    return (before > 0) != (after > 0);
+    bool support_changed = (before > 0) != (after > 0);
+    if (support_changed) positive_ += (after > 0) ? +1 : -1;
+    return support_changed;
   }
 
   /// The antichain of minimal elements with positive count.
@@ -115,11 +117,9 @@ class MutableAntichain {
     return result;
   }
 
-  /// True iff no element has positive count.
-  bool Empty() const {
-    return std::none_of(counts_.begin(), counts_.end(),
-                        [](const auto& kv) { return kv.second > 0; });
-  }
+  /// True iff no element has positive count. O(1): the support size is
+  /// maintained by Update.
+  bool Empty() const { return positive_ == 0; }
 
   /// True iff every count is exactly zero (fully drained and consistent).
   bool AllZero() const { return counts_.empty(); }
@@ -135,6 +135,7 @@ class MutableAntichain {
   // std::map requires a total order; for Product timestamps the tie-break
   // operator< is used purely as a container key order.
   std::map<T, int64_t> counts_;
+  int64_t positive_ = 0;  // entries with positive count
 };
 
 }  // namespace timely

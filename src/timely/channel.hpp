@@ -5,6 +5,12 @@
 // one logical producer port and, per receiving worker, a FIFO queue of
 // bundles. Senders batch records into bundles so queue and progress-tracker
 // synchronization is amortized over ~hundreds of records.
+//
+// The hot path is batch-first: receivers drain a whole queue with one lock
+// acquisition (PullAll swaps the deque), senders can publish several
+// bundles under one lock (PushMany), and drained bundle buffers are
+// recycled through a per-channel pool so vector capacity flows from
+// receiver back to sender instead of being reallocated per bundle.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,7 @@
 #include <mutex>
 #include <typeindex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -40,6 +47,21 @@ class Channel {
     queues_[target]->q.push_back(std::move(bundle));
   }
 
+  /// Publishes every bundle of `bundles` (in order) under one lock
+  /// acquisition; `bundles` is left empty.
+  void PushMany(uint32_t target, std::deque<Bundle<D, T>>& bundles) {
+    MEGA_DCHECK(target < queues_.size());
+    if (bundles.empty()) return;
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    auto& q = queues_[target]->q;
+    if (q.empty()) {
+      q.swap(bundles);
+    } else {
+      for (auto& b : bundles) q.push_back(std::move(b));
+      bundles.clear();
+    }
+  }
+
   /// Pops the next bundle for `worker`; returns false if none queued.
   bool Pull(uint32_t worker, Bundle<D, T>& out) {
     MEGA_DCHECK(worker < queues_.size());
@@ -50,12 +72,76 @@ class Channel {
     return true;
   }
 
+  /// Drains every queued bundle for `worker` into `out` (FIFO order) with
+  /// a single lock acquisition — `out` is swapped with the live queue when
+  /// empty, so the drain itself moves no bundles. Returns the number of
+  /// bundles delivered.
+  size_t PullAll(uint32_t worker, std::deque<Bundle<D, T>>& out) {
+    MEGA_DCHECK(worker < queues_.size());
+    std::lock_guard<std::mutex> lock(queues_[worker]->mu);
+    auto& q = queues_[worker]->q;
+    size_t drained = q.size();
+    if (drained == 0) return 0;
+    if (out.empty()) {
+      out.swap(q);
+    } else {
+      while (!q.empty()) {
+        out.push_back(std::move(q.front()));
+        q.pop_front();
+      }
+    }
+    return drained;
+  }
+
+  /// Takes a recycled record buffer (empty, with capacity) from the
+  /// calling worker's pool shard, or an empty vector if the shard is dry.
+  /// Shards keep workers off each other's pool locks.
+  std::vector<D> AcquireBuffer(uint32_t worker = 0) {
+    MEGA_DCHECK(worker < queues_.size());
+    auto& shard = *queues_[worker];
+    std::lock_guard<std::mutex> lock(shard.pool_mu);
+    if (shard.pool.empty()) return {};
+    std::vector<D> buf = std::move(shard.pool.back());
+    shard.pool.pop_back();
+    return buf;
+  }
+
+  /// Returns a drained bundle buffer to the calling worker's pool shard
+  /// so its capacity is reused by a later flush. Buffers without capacity
+  /// are dropped.
+  void RecycleBuffer(std::vector<D>&& buf, uint32_t worker = 0) {
+    if (buf.capacity() == 0) return;
+    MEGA_DCHECK(worker < queues_.size());
+    buf.clear();
+    auto& shard = *queues_[worker];
+    std::lock_guard<std::mutex> lock(shard.pool_mu);
+    if (shard.pool.size() < kMaxPooled) shard.pool.push_back(std::move(buf));
+  }
+
+  /// Buffers currently pooled across all shards (introspection for tests).
+  size_t PooledBuffers() const {
+    size_t n = 0;
+    for (const auto& q : queues_) {
+      std::lock_guard<std::mutex> lock(q->pool_mu);
+      n += q->pool.size();
+    }
+    return n;
+  }
+
   uint32_t workers() const { return static_cast<uint32_t>(queues_.size()); }
 
  private:
+  // Enough for every worker to have a few bundles in flight per direction;
+  // beyond that, extra capacity is better returned to the allocator.
+  static constexpr size_t kMaxPooled = 64;
+
   struct Queue {
     std::mutex mu;
     std::deque<Bundle<D, T>> q;
+    // Per-worker buffer-pool shard (worker i recycles into and acquires
+    // from shard i; capacity migrates between shards with the bundles).
+    mutable std::mutex pool_mu;
+    std::vector<std::vector<D>> pool;
   };
   std::vector<std::unique_ptr<Queue>> queues_;
 };

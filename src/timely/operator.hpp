@@ -10,8 +10,17 @@
 // capability at times ≥ t; explicit capabilities must be retained to defer
 // output to a later step and released when done, which is what lets
 // downstream frontiers advance.
+//
+// The record path is batch-first: SendBatch dispatches on the contract
+// once per batch (the concrete routing functor is devirtualized into a
+// single type-erased call computing every record's target), input handles
+// drain whole channel queues with one lock, bundle buffers are recycled
+// through the channel's pool, and each scheduling step publishes ONE
+// consolidated progress batch — produced counts, consumed counts, and
+// capability changes together — before staged bundles become visible.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -35,6 +44,11 @@ namespace timely {
 
 /// Parallelization contract: decides the receiving worker for each record
 /// on a channel.
+///
+/// Exchange and Route are constructed from arbitrary callables; the
+/// concrete functor is captured twice — once per-record (for Send) and
+/// once inside `batch_targets`, which computes the targets of a whole
+/// batch in one type-erased call so the per-record loop is devirtualized.
 template <typename D>
 struct Pact {
   enum class Kind { kPipeline, kExchange, kBroadcast, kRoute };
@@ -42,23 +56,71 @@ struct Pact {
   Kind kind = Kind::kPipeline;
   std::function<uint64_t(const D&)> hash;   // kExchange: target = hash % W
   std::function<uint32_t(const D&)> route;  // kRoute: explicit worker id
+  /// Batch fast path (kExchange/kRoute): fills `targets[0..n)` with the
+  /// destination worker of each record.
+  std::function<void(const D* data, size_t n, uint32_t peers,
+                     uint32_t* targets)>
+      batch_targets;
 
   /// Records stay on the sending worker.
-  static Pact Pipeline() { return Pact{Kind::kPipeline, nullptr, nullptr}; }
+  static Pact Pipeline() { return Pact{}; }
+
   /// Records are partitioned by a hash of their content.
-  static Pact Exchange(std::function<uint64_t(const D&)> h) {
-    return Pact{Kind::kExchange, std::move(h), nullptr};
+  template <typename H>
+  static Pact Exchange(H h) {
+    Pact p;
+    p.kind = Kind::kExchange;
+    p.hash = h;
+    p.batch_targets = [h](const D* data, size_t n, uint32_t peers,
+                          uint32_t* targets) {
+      for (size_t i = 0; i < n; ++i) {
+        targets[i] = static_cast<uint32_t>(h(data[i]) % peers);
+      }
+    };
+    return p;
   }
+
   /// Every record is delivered to every worker (requires copyable D).
-  static Pact Broadcast() { return Pact{Kind::kBroadcast, nullptr, nullptr}; }
+  static Pact Broadcast() {
+    Pact p;
+    p.kind = Kind::kBroadcast;
+    return p;
+  }
+
   /// Records carry their destination worker explicitly.
-  static Pact Route(std::function<uint32_t(const D&)> r) {
-    return Pact{Kind::kRoute, nullptr, std::move(r)};
+  template <typename R>
+  static Pact Route(R r) {
+    Pact p;
+    p.kind = Kind::kRoute;
+    p.route = r;
+    p.batch_targets = [r](const D* data, size_t n, uint32_t /*peers*/,
+                          uint32_t* targets) {
+      for (size_t i = 0; i < n; ++i) targets[i] = r(data[i]);
+    };
+    return p;
   }
 };
 
 template <typename T>
 class OpCtx;
+
+/// Step-scoped flushing protocol implemented by output handles. A node
+/// first *stages* every non-empty buffer (bundles move out of the
+/// buffers, produced counts append to the step's change batch), then the
+/// batch is applied to the tracker in one consolidated call, and only
+/// then are staged bundles *committed* (made visible in channels) — the
+/// safety order, with one tracker acquisition per step instead of one per
+/// buffer plus one per step.
+template <typename T>
+class StepFlushable : public Flushable {
+ public:
+  /// Moves full buffers into the staging area; appends their produced
+  /// counts to `changes`. Returns true if anything was staged.
+  virtual bool StageFlush(std::vector<Change<T>>& changes) = 0;
+  /// Publishes staged bundles to their channels (and drains any byte
+  /// throttle). Must be called after `changes` has been applied.
+  virtual bool CommitFlush() = 0;
+};
 
 /// Typed output port handle. Owns per-channel, per-target buffers; flushing
 /// a buffer first applies the `produced` count to the progress tracker and
@@ -69,7 +131,7 @@ class OpCtx;
 /// in the paper's Fig. 20) but enter the channel only as the token bucket
 /// admits them.
 template <typename D, typename T>
-class OutputHandle final : public Flushable {
+class OutputHandle final : public StepFlushable<T> {
  public:
   OutputHandle(ProgressTracker<T>* tracker, uint32_t worker, uint32_t peers,
                OpCtx<T>* cap_ctx)
@@ -100,32 +162,102 @@ class OutputHandle final : public Flushable {
     }
   }
 
-  /// Sends every element of `items` at `time`.
+  /// Sends every element of `items` at `time`. The contract dispatch runs
+  /// once per attachment, not once per record; `items` is left empty (its
+  /// capacity is retained for the caller to reuse).
   void SendBatch(const T& time, std::vector<D>&& items) {
+    if (items.empty()) return;
     DebugCheckMaySend(time);
-    for (size_t i = 0; i < items.size(); ++i) {
-      for (size_t a = 0; a < attachments_.size(); ++a) {
-        bool last = (a + 1 == attachments_.size());
-        if (last && i + 1 == items.size()) {
-          RouteIntoBuffers(attachments_[a], time, items[i], true);
-        } else {
-          RouteIntoBuffers(attachments_[a], time, items[i], false);
-        }
-      }
+    for (size_t a = 0; a < attachments_.size(); ++a) {
+      bool last = (a + 1 == attachments_.size());
+      RouteBatchIntoBuffers(attachments_[a], time, items, last);
     }
     items.clear();
   }
 
+  /// Zero-copy send of a pre-routed batch: `items` is adopted as one
+  /// bundle for `target` and replaced with an empty pooled buffer, so the
+  /// caller's partitioning buffer cycles through the channel's pool. Only
+  /// valid on single-attachment outputs whose contract delivers each of
+  /// `items` to `target` (the caller's guarantee — e.g. a Route contract
+  /// reading a target the caller just wrote). Inside an operator step the
+  /// bundle is staged and becomes visible with the step's consolidated
+  /// progress batch; outside one it is published immediately.
+  void SendBundle(const T& time, uint32_t target, std::vector<D>& items) {
+    if (items.empty()) return;
+    DebugCheckMaySend(time);
+    MEGA_DCHECK(attachments_.size() == 1);
+    Attachment& att = attachments_[0];
+    if (throttle_) {
+      if (!att.buffers[target].data.empty()) FlushBuffer(att, target);
+      tracker_->ApplyOne(att.dst_loc, time,
+                         static_cast<int64_t>(items.size()));
+      Bundle<D, T> bundle;
+      bundle.time = time;
+      bundle.data = std::move(items);
+      items = att.chan->AcquireBuffer(worker_);
+      size_t bytes = 0;
+      for (const auto& d : bundle.data) bytes += size_of_(d);
+      pending_bytes_ += bytes;
+      pending_.push_back(PendingBundle{0, target, bytes, std::move(bundle)});
+      DrainPending();
+    } else {
+      AdoptAsBundle(att, target, time, items);
+    }
+  }
+
+  /// Immediate flush (input handles, step-external senders): stage, apply
+  /// the consolidated batch, commit.
   bool Flush() override {
+    flush_scratch_.clear();
+    bool any = StageFlush(flush_scratch_);
+    ConsolidateChanges(flush_scratch_);
+    if (!flush_scratch_.empty()) {
+      tracker_->Apply(std::span<const Change<T>>(flush_scratch_.data(),
+                                                 flush_scratch_.size()));
+    }
+    any |= CommitFlush();
+    return any;
+  }
+
+  bool StageFlush(std::vector<Change<T>>& changes) override {
     bool any = false;
     for (auto& att : attachments_) {
       for (uint32_t w = 0; w < peers_; ++w) {
         if (!att.buffers[w].data.empty()) {
-          FlushBuffer(att, w);
+          StageBuffer(att, w, changes);
           any = true;
         }
       }
     }
+    return any;
+  }
+
+  bool CommitFlush() override {
+    bool any = !staged_.empty();
+    // Consecutive staged bundles for the same channel and target (e.g. a
+    // partial buffer staged ahead of an adopted bundle) publish under one
+    // lock via PushMany.
+    size_t i = 0;
+    while (i < staged_.size()) {
+      size_t j = i + 1;
+      while (j < staged_.size() && staged_[j].att_idx == staged_[i].att_idx &&
+             staged_[j].target == staged_[i].target) {
+        ++j;
+      }
+      Channel<D, T>* chan = attachments_[staged_[i].att_idx].chan.get();
+      if (j - i == 1) {
+        chan->Push(staged_[i].target, std::move(staged_[i].bundle));
+      } else {
+        commit_scratch_.clear();
+        for (size_t k = i; k < j; ++k) {
+          commit_scratch_.push_back(std::move(staged_[k].bundle));
+        }
+        chan->PushMany(staged_[i].target, commit_scratch_);
+      }
+      i = j;
+    }
+    staged_.clear();
     any |= DrainPending();
     return any;
   }
@@ -141,7 +273,14 @@ class OutputHandle final : public Flushable {
     std::vector<Bundle<D, T>> buffers;  // per target worker
   };
 
-  static constexpr size_t kBatch = 1024;
+  // Maximum records per bundle. Since every step flushes its partial
+  // buffers, this only caps bundles mid-step; larger bundles amortize
+  // channel and tracker synchronization without a latency cost.
+  static constexpr size_t kBatch = 4096;
+  // Below this batch size the shuffle fast path's per-target bundles get
+  // too small to amortize their bookkeeping; records append into the
+  // accumulating buffers instead.
+  static constexpr size_t kScatterMin = 512;
 
   void DebugCheckMaySend(const T& time);
 
@@ -169,19 +308,210 @@ class OutputHandle final : public Flushable {
     }
   }
 
+  /// Batch routing: one contract dispatch per call. Pipeline and
+  /// Broadcast bulk-append; Exchange and Route compute all targets with a
+  /// single type-erased call, then run a dispatch-free per-record loop.
+  void RouteBatchIntoBuffers(Attachment& att, const T& time,
+                             std::vector<D>& items, bool may_move) {
+    switch (att.pact.kind) {
+      case Pact<D>::Kind::kPipeline:
+        if (may_move && !throttle_ && items.size() >= kScatterMin) {
+          AdoptAsBundle(att, worker_, time, items);
+        } else {
+          AppendRange(att, worker_, time, items, may_move);
+        }
+        break;
+      case Pact<D>::Kind::kBroadcast:
+        for (uint32_t w = 0; w < peers_; ++w) {
+          AppendRange(att, w, time, items, may_move && (w + 1 == peers_));
+        }
+        break;
+      case Pact<D>::Kind::kExchange:
+      case Pact<D>::Kind::kRoute: {
+        targets_scratch_.resize(items.size());
+        att.pact.batch_targets(items.data(), items.size(), peers_,
+                               targets_scratch_.data());
+        if (may_move && !throttle_ && items.size() >= kScatterMin) {
+          ScatterAdopt(att, time, items);
+          break;
+        }
+        for (size_t i = 0; i < items.size(); ++i) {
+          uint32_t w = targets_scratch_[i];
+          MEGA_DCHECK(w < peers_);
+          Append(att, w, time, items[i], may_move);
+        }
+        break;
+      }
+    }
+  }
+
+  /// Large-batch pipeline fast path: adopt the whole batch as one bundle
+  /// for `target` — zero copy; `items` is replaced with a pooled buffer.
+  void AdoptAsBundle(Attachment& att, uint32_t target, const T& time,
+                     std::vector<D>& items) {
+    const bool staged = cap_ctx_ != nullptr;
+    if (!att.buffers[target].data.empty()) {
+      // Earlier per-record Sends stay ahead in FIFO order.
+      if (staged) {
+        StageBuffer(att, target, cap_ctx_->step_changes());
+      } else {
+        FlushBuffer(att, target);
+      }
+    }
+    Bundle<D, T> bundle;
+    bundle.time = time;
+    bundle.data = std::move(items);
+    items = att.chan->AcquireBuffer(worker_);
+    size_t att_idx = static_cast<size_t>(&att - attachments_.data());
+    if (staged) {
+      cap_ctx_->step_changes().push_back(Change<T>{
+          att.dst_loc, time, static_cast<int64_t>(bundle.data.size())});
+      staged_.push_back(StagedBundle{att_idx, target, std::move(bundle)});
+    } else {
+      tracker_->ApplyOne(att.dst_loc, time,
+                         static_cast<int64_t>(bundle.data.size()));
+      att.chan->Push(target, std::move(bundle));
+    }
+  }
+
+  /// Large-batch shuffle fast path: partition records into per-target
+  /// pooled buffers (one branch-light pass, `targets_scratch_` already
+  /// filled), then adopt each nonempty partition directly as a bundle —
+  /// no per-record buffer bookkeeping and no second copy. Production is
+  /// counted in one tracker batch (or folded into the step's batch inside
+  /// an operator) before any bundle becomes visible.
+  void ScatterAdopt(Attachment& att, const T& time, std::vector<D>& items) {
+    if (scatter_scratch_.size() < peers_) scatter_scratch_.resize(peers_);
+    for (size_t i = 0; i < items.size(); ++i) {
+      uint32_t w = targets_scratch_[i];
+      MEGA_DCHECK(w < peers_);
+      scatter_scratch_[w].push_back(std::move(items[i]));
+    }
+    const bool staged = cap_ctx_ != nullptr;
+    size_t first_staged = staged_.size();
+    flush_scratch_.clear();
+    for (uint32_t w = 0; w < peers_; ++w) {
+      auto& part = scatter_scratch_[w];
+      if (part.empty()) continue;
+      auto& changes = staged ? cap_ctx_->step_changes() : flush_scratch_;
+      // Keep earlier per-record Sends ahead of the adopted bundle: stage
+      // them first (or, on the immediate path, push them right away).
+      if (!att.buffers[w].data.empty()) {
+        if (staged) {
+          StageBuffer(att, w, changes);
+        } else {
+          FlushBuffer(att, w);
+        }
+      }
+      changes.push_back(
+          Change<T>{att.dst_loc, time, static_cast<int64_t>(part.size())});
+      Bundle<D, T> bundle;
+      bundle.time = time;
+      bundle.data = std::move(part);
+      part = att.chan->AcquireBuffer(worker_);
+      size_t att_idx = static_cast<size_t>(&att - attachments_.data());
+      staged_.push_back(StagedBundle{att_idx, w, std::move(bundle)});
+    }
+    if (!staged) {
+      // Immediate context (e.g. a dataflow input): count production now,
+      // then publish the adopted bundles.
+      if (!flush_scratch_.empty()) {
+        tracker_->Apply(std::span<const Change<T>>(flush_scratch_.data(),
+                                                   flush_scratch_.size()));
+        flush_scratch_.clear();
+      }
+      for (size_t i = first_staged; i < staged_.size(); ++i) {
+        attachments_[staged_[i].att_idx].chan->Push(
+            staged_[i].target, std::move(staged_[i].bundle));
+      }
+      staged_.resize(first_staged);
+    }
+  }
+
   void Append(Attachment& att, uint32_t target, const T& time, D& item,
               bool may_move) {
     auto& buf = att.buffers[target];
-    if (!buf.data.empty() && !(buf.time == time)) FlushBuffer(att, target);
-    if (buf.data.empty()) buf.time = time;
+    if (!buf.data.empty() && !(buf.time == time)) FlushOrStage(att, target);
+    if (buf.data.empty()) {
+      buf.time = time;
+      if (buf.data.capacity() == 0) buf.data = att.chan->AcquireBuffer(worker_);
+    }
     if (may_move) {
       buf.data.push_back(std::move(item));
     } else {
       buf.data.push_back(item);
     }
-    if (buf.data.size() >= kBatch) FlushBuffer(att, target);
+    if (buf.data.size() >= kBatch) FlushOrStage(att, target);
   }
 
+  /// Bulk append of a whole batch to one target, flushing at bundle
+  /// boundaries. Insertion is ranged, so trivially copyable records
+  /// memcpy instead of pushing one at a time.
+  void AppendRange(Attachment& att, uint32_t target, const T& time,
+                   std::vector<D>& items, bool may_move) {
+    auto& buf = att.buffers[target];
+    if (!buf.data.empty() && !(buf.time == time)) FlushOrStage(att, target);
+    size_t i = 0;
+    const size_t n = items.size();
+    while (i < n) {
+      if (buf.data.empty()) {
+        buf.time = time;
+        if (buf.data.capacity() == 0) buf.data = att.chan->AcquireBuffer(worker_);
+      }
+      size_t room = buf.data.size() < kBatch ? kBatch - buf.data.size() : 0;
+      size_t take = std::min(room, n - i);
+      if (may_move) {
+        buf.data.insert(buf.data.end(),
+                        std::make_move_iterator(items.begin() + i),
+                        std::make_move_iterator(items.begin() + i + take));
+      } else {
+        buf.data.insert(buf.data.end(), items.begin() + i,
+                        items.begin() + i + take);
+      }
+      i += take;
+      if (buf.data.size() >= kBatch) FlushOrStage(att, target);
+    }
+  }
+
+  /// Mid-step bundle boundary. Inside an operator step the full buffer
+  /// must go through the step's staged batch — a direct Push would let it
+  /// overtake earlier staged bundles for the same target; outside one
+  /// (input handles) it publishes immediately.
+  void FlushOrStage(Attachment& att, uint32_t target) {
+    if (cap_ctx_ != nullptr) {
+      StageBuffer(att, target, cap_ctx_->step_changes());
+    } else {
+      FlushBuffer(att, target);
+    }
+  }
+
+  /// Moves a full buffer out as a bundle: the produced count goes into
+  /// `changes` (applied before the bundle becomes visible), the bundle
+  /// into the staging area — or the throttle queue, which counts
+  /// production immediately as well.
+  void StageBuffer(Attachment& att, uint32_t target,
+                   std::vector<Change<T>>& changes) {
+    auto& buf = att.buffers[target];
+    changes.push_back(Change<T>{att.dst_loc, buf.time,
+                                static_cast<int64_t>(buf.data.size())});
+    Bundle<D, T> bundle;
+    bundle.time = buf.time;
+    bundle.data = std::move(buf.data);
+    buf.data.clear();
+    size_t att_idx = static_cast<size_t>(&att - attachments_.data());
+    if (!throttle_) {
+      staged_.push_back(StagedBundle{att_idx, target, std::move(bundle)});
+    } else {
+      size_t bytes = 0;
+      for (const auto& d : bundle.data) bytes += size_of_(d);
+      pending_bytes_ += bytes;
+      pending_.push_back(PendingBundle{att_idx, target, bytes,
+                                       std::move(bundle)});
+    }
+  }
+
+  /// Immediate flush of one buffer (mid-step bundle boundary): count
+  /// production, then publish, without waiting for step end.
   void FlushBuffer(Attachment& att, uint32_t target) {
     auto& buf = att.buffers[target];
     if (buf.data.empty()) return;
@@ -220,6 +550,12 @@ class OutputHandle final : public Flushable {
     return any;
   }
 
+  struct StagedBundle {
+    size_t att_idx;
+    uint32_t target;
+    Bundle<D, T> bundle;
+  };
+
   struct PendingBundle {
     size_t att_idx;
     uint32_t target;
@@ -232,6 +568,11 @@ class OutputHandle final : public Flushable {
   uint32_t peers_;
   OpCtx<T>* cap_ctx_;  // nullable (input handles have no operator context)
   std::vector<Attachment> attachments_;
+  std::vector<uint32_t> targets_scratch_;
+  std::vector<std::vector<D>> scatter_scratch_;  // per target worker
+  std::vector<StagedBundle> staged_;
+  std::deque<Bundle<D, T>> commit_scratch_;
+  std::vector<Change<T>> flush_scratch_;
   std::optional<megaphone::ByteThrottle> throttle_;
   std::function<size_t(const D&)> size_of_;
   std::deque<PendingBundle> pending_;
@@ -252,19 +593,20 @@ class InputHandle {
         ctx_(ctx) {}
 
   /// Calls `f(time, data)` for every queued bundle, recording consumption.
-  /// `data` may be consumed destructively. Returns true if any bundle was
-  /// delivered.
+  /// The whole queue is drained with one lock acquisition; `data` may be
+  /// consumed destructively, and buffers left behind are recycled into the
+  /// channel's pool. Returns true if any bundle was delivered.
   template <typename F>
   bool ForEach(F f) {
-    Bundle<D, T> bundle;
-    bool any = false;
-    while (chan_->Pull(df_->worker_index(), bundle)) {
+    if (chan_->PullAll(df_->worker_index(), drained_) == 0) return false;
+    for (auto& bundle : drained_) {
       ctx_->RecordConsumed(loc_, bundle.time,
                            static_cast<int64_t>(bundle.data.size()));
       f(bundle.time, bundle.data);
-      any = true;
+      chan_->RecycleBuffer(std::move(bundle.data), df_->worker_index());
     }
-    return any;
+    drained_.clear();
+    return true;
   }
 
   /// The frontier of this input: timestamps that may still arrive here.
@@ -280,6 +622,7 @@ class InputHandle {
   int32_t port_idx_;
   DataflowInstance<T>* df_;
   OpCtx<T>* ctx_;
+  std::deque<Bundle<D, T>> drained_;
 };
 
 /// Per-node operator context: capability accounting and the end-of-step
@@ -334,8 +677,21 @@ class OpCtx {
   // --- engine internals -----------------------------------------------
 
   void RecordConsumed(uint32_t loc, const T& time, int64_t count) {
-    step_times_.push_back(time);
+    if (step_times_.empty() || !(step_times_.back() == time)) {
+      step_times_.push_back(time);
+    }
     end_changes_.push_back(Change<T>{loc, time, -count});
+    consumed_any_ = true;
+  }
+
+  /// Registers that a message at `time` was received this step without a
+  /// count change — used for same-worker handoffs whose produced and
+  /// consumed deltas cancel within the step. Grants the same capability
+  /// basis as RecordConsumed (the right to send and retain at ≥ time).
+  void NoteInputTime(const T& time) {
+    if (step_times_.empty() || !(step_times_.back() == time)) {
+      step_times_.push_back(time);
+    }
     consumed_any_ = true;
   }
 
@@ -346,12 +702,19 @@ class OpCtx {
     consumed_any_ = false;
   }
 
-  /// Applies the step's progress batch; returns whether the step did work.
-  bool EndStep() {
+  /// The step's accumulated change batch; output handles stage their
+  /// produced counts into it, and EndStepInto hands the whole batch to
+  /// the dataflow step for one consolidated Apply.
+  std::vector<Change<T>>& step_changes() { return end_changes_; }
+
+  /// Hands the step's progress batch — consumed counts, capability
+  /// changes, and staged produced counts — to `out` (the dataflow's
+  /// per-step batch, applied once for all nodes). Returns whether the
+  /// step did work.
+  bool EndStepInto(std::vector<Change<T>>& out) {
     bool active = consumed_any_ || !end_changes_.empty();
     if (!end_changes_.empty()) {
-      df_->tracker().Apply(std::span<const Change<T>>(end_changes_.data(),
-                                                      end_changes_.size()));
+      out.insert(out.end(), end_changes_.begin(), end_changes_.end());
       end_changes_.clear();
     }
     step_times_.clear();
@@ -376,34 +739,42 @@ void OutputHandle<D, T>::DebugCheckMaySend(const T& time) {
   (void)time;
 }
 
-/// The generic operator node: runs user logic, then flushes outputs, then
-/// publishes the progress batch.
+/// The generic operator node: runs user logic, stages its outputs and
+/// progress changes into the dataflow step's batch (applied once for all
+/// nodes), then CommitStep publishes the staged bundles (the safety
+/// order: counts first).
 template <typename T>
 class OperatorNode final : public NodeBase<T> {
  public:
   OperatorNode(DataflowInstance<T>* df, std::string name)
       : ctx_(df, std::move(name)) {}
 
-  bool Schedule(DataflowInstance<T>&) override {
+  bool Schedule(DataflowInstance<T>& df) override {
     ctx_.BeginStep();
     if (logic_) logic_(ctx_);
     bool active = false;
-    for (auto* f : flushables_) active |= f->Flush();
-    active |= ctx_.EndStep();
+    for (auto* f : flushables_) active |= f->StageFlush(ctx_.step_changes());
+    active |= ctx_.EndStepInto(df.step_changes());
     return active;
+  }
+
+  bool CommitStep() override {
+    bool any = false;
+    for (auto* f : flushables_) any |= f->CommitFlush();
+    return any;
   }
 
   OpCtx<T>& ctx() { return ctx_; }
   void set_logic(std::function<void(OpCtx<T>&)> logic) {
     logic_ = std::move(logic);
   }
-  void AddFlushable(Flushable* f) { flushables_.push_back(f); }
+  void AddFlushable(StepFlushable<T>* f) { flushables_.push_back(f); }
   void Own(std::shared_ptr<void> p) { owned_.push_back(std::move(p)); }
 
  private:
   OpCtx<T> ctx_;
   std::function<void(OpCtx<T>&)> logic_;
-  std::vector<Flushable*> flushables_;
+  std::vector<StepFlushable<T>*> flushables_;
   std::vector<std::shared_ptr<void>> owned_;
 };
 

@@ -19,6 +19,7 @@
 // never advance past live work.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -40,6 +41,44 @@ struct Change {
   T time;
   int64_t delta;
 };
+
+/// Consolidates a change batch in place: deltas at the same (location,
+/// time) are summed and entries netting to zero are dropped, so one
+/// tracker acquisition applies the whole batch — or none at all when a
+/// step's changes cancel out. Sound because Apply is atomic: counts are
+/// only ever observed after the entire batch, where order and transient
+/// zero-sum pairs are unobservable. Uses the timestamp's total tie-break
+/// `operator<` (the same order std::map keys rely on throughout).
+template <typename T>
+void ConsolidateChanges(std::vector<Change<T>>& changes) {
+  if (changes.size() == 1) {
+    if (changes[0].delta == 0) changes.clear();
+    return;
+  }
+  if (changes.empty()) return;
+  std::sort(changes.begin(), changes.end(),
+            [](const Change<T>& a, const Change<T>& b) {
+              if (a.loc != b.loc) return a.loc < b.loc;
+              return a.time < b.time;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < changes.size();) {
+    int64_t sum = 0;
+    size_t j = i;
+    while (j < changes.size() && changes[j].loc == changes[i].loc &&
+           changes[j].time == changes[i].time) {
+      sum += changes[j].delta;
+      ++j;
+    }
+    if (sum != 0) {
+      changes[out] = changes[i];
+      changes[out].delta = sum;
+      ++out;
+    }
+    i = j;
+  }
+  changes.resize(out);
+}
 
 /// Structural description of a dataflow graph, built identically by every
 /// worker during dataflow construction.
@@ -74,6 +113,7 @@ class GraphSpec {
     uint32_t loc = node_base_[node] + nodes_[node].inputs;
     nodes_[node].inputs++;
     next_loc_++;
+    loc_is_input_.push_back(1);
     return loc;
   }
 
@@ -85,6 +125,7 @@ class GraphSpec {
                    nodes_[node].outputs;
     nodes_[node].outputs++;
     next_loc_++;
+    loc_is_input_.push_back(0);
     return loc;
   }
 
@@ -101,19 +142,17 @@ class GraphSpec {
     return edges_;
   }
 
-  /// True if `loc` is an input port of some node.
+  /// True if `loc` is an input port of some node. O(1): the kind table is
+  /// maintained as ports are added (locations are dense and append-only).
   bool IsInputLoc(uint32_t loc) const {
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-      if (loc >= node_base_[i] && loc < node_base_[i] + nodes_[i].inputs)
-        return true;
-    }
-    return false;
+    return loc < loc_is_input_.size() && loc_is_input_[loc] != 0;
   }
 
  private:
   std::vector<NodeSpec> nodes_;
   std::vector<uint32_t> node_base_;
   std::vector<std::pair<uint32_t, uint32_t>> edges_;
+  std::vector<uint8_t> loc_is_input_;  // per-location kind table
   uint32_t next_loc_ = 0;
 };
 

@@ -113,8 +113,24 @@ class DataflowInstance final : public DataflowInstanceBase {
     RefreshFrontiers();
     bool active = false;
     for (auto& node : nodes_) active |= node->Schedule(*this);
+    // One consolidated tracker transaction for the whole step: every
+    // node's consumed counts, capability changes, and staged produced
+    // counts. Changes from a producer and its same-worker consumer at the
+    // same (location, time) net to zero here and never touch the tracker.
+    if (!step_changes_.empty()) {
+      ConsolidateChanges(step_changes_);
+      if (!step_changes_.empty()) {
+        shared_->tracker.Apply(std::span<const Change<T>>(
+            step_changes_.data(), step_changes_.size()));
+      }
+      step_changes_.clear();
+    }
+    for (auto& node : nodes_) active |= node->CommitStep();
     return active;
   }
+
+  /// The step's accumulated progress batch; nodes append during Schedule.
+  std::vector<Change<T>>& step_changes() { return step_changes_; }
 
   bool Complete() const override { return shared_->tracker.Complete(); }
 
@@ -156,6 +172,7 @@ class DataflowInstance final : public DataflowInstanceBase {
   std::vector<std::shared_ptr<void>> keepalive_;
   uint64_t seen_version_ = ~uint64_t{0};
   std::vector<Antichain<T>> frontiers_;
+  std::vector<Change<T>> step_changes_;
 };
 
 /// Handed to the dataflow-construction closure; assigns node, port, and

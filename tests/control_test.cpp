@@ -64,6 +64,36 @@ TEST(RoutingTable, LastUpdateAtSameTimeWins) {
   EXPECT_EQ(rt.WorkerAt(10, 2), 3u);
 }
 
+TEST(RoutingTable, FlatFastPathDisabledForIncomparableVersionTimes) {
+  // With a partially ordered timestamp, versions on different bins can be
+  // applied at mutually incomparable times; no single time then bounds
+  // every version, so the flat owner array must not answer queries that
+  // are ≥ one version but not the other (regression: the fast path used
+  // to return bin 0's (2,0) owner for a query at (1,3)).
+  using P = timely::Product<uint64_t, uint64_t>;
+  RoutingTable<P> rt(4, 2);
+  rt.Apply(P{2, 0}, 0, 1);  // bin 0: new owner at (2,0)
+  rt.Apply(P{0, 3}, 1, 0);  // bin 1: incomparable version time (0,3)
+  // (1,3) is ≥ (0,3) but NOT ≥ (2,0): bin 0 must still answer with its
+  // initial owner, bin 1 with its new one.
+  EXPECT_EQ(rt.WorkerAt(P{1, 3}, 0), 0u);
+  EXPECT_EQ(rt.WorkerAt(P{1, 3}, 1), 0u);
+  EXPECT_EQ(rt.FlatOwnersAt(P{9, 9}), nullptr);
+  // A query past both versions still answers correctly via history.
+  EXPECT_EQ(rt.WorkerAt(P{9, 9}, 0), 1u);
+  EXPECT_EQ(rt.WorkerAt(P{9, 9}, 1), 0u);
+}
+
+TEST(RoutingTable, FlatFastPathServesSteadyStateQueries) {
+  RoutingTable<uint64_t> rt(4, 2);
+  EXPECT_NE(rt.FlatOwnersAt(0), nullptr);  // initial assignment is flat
+  rt.Apply(10, 1, 0);
+  EXPECT_EQ(rt.FlatOwnersAt(9), nullptr);   // 9 predates the t=10 version
+  const uint32_t* flat = rt.FlatOwnersAt(10);
+  ASSERT_NE(flat, nullptr);
+  for (BinId b = 0; b < 4; ++b) EXPECT_EQ(flat[b], rt.WorkerAt(10, b));
+}
+
 TEST(RoutingTable, OutOfOrderVersionsRejected) {
   RoutingTable<uint64_t> rt(4, 2);
   rt.Apply(10, 1, 0);

@@ -214,5 +214,57 @@ TEST(Progress, MismatchedSpecsRejected) {
   EXPECT_DEATH(t.Finalize(other), "structurally different");
 }
 
+// --- change-batch consolidation ------------------------------------------
+
+TEST(Consolidate, MergesByLocAndTimeAndDropsZeros) {
+  std::vector<Change<uint64_t>> batch = {
+      {2, 5, +3}, {1, 5, +1}, {2, 5, -1}, {2, 7, +4},
+      {1, 5, -1}, {2, 7, -4}, {0, 1, +2},
+  };
+  ConsolidateChanges(batch);
+  // Expected survivors, sorted by (loc, time): (0,1,+2), (2,5,+2).
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].loc, 0u);
+  EXPECT_EQ(batch[0].time, 1u);
+  EXPECT_EQ(batch[0].delta, 2);
+  EXPECT_EQ(batch[1].loc, 2u);
+  EXPECT_EQ(batch[1].time, 5u);
+  EXPECT_EQ(batch[1].delta, 2);
+}
+
+TEST(Consolidate, FullyNettingBatchBecomesEmpty) {
+  std::vector<Change<uint64_t>> batch = {
+      {3, 9, +7}, {3, 9, -4}, {3, 9, -3}, {5, 2, +1}, {5, 2, -1},
+  };
+  ConsolidateChanges(batch);
+  EXPECT_TRUE(batch.empty());
+  std::vector<Change<uint64_t>> single = {{0, 0, 0}};
+  ConsolidateChanges(single);
+  EXPECT_TRUE(single.empty());
+}
+
+TEST(Consolidate, BatchedApplyMatchesUnbatchedFrontiers) {
+  // The same change sequence applied one at a time and as one
+  // consolidated batch must produce identical frontiers everywhere.
+  std::vector<Change<uint64_t>> changes = {
+      {0, 3, +1}, {0, 5, +2}, {1, 3, +4}, {0, 5, -2},
+      {1, 3, -4}, {1, 4, +1}, {2, 4, +2}, {2, 4, -1},
+  };
+  Chain a_chain, b_chain;
+  ProgressTracker<uint64_t> unbatched, batched;
+  unbatched.Finalize(a_chain.spec);
+  batched.Finalize(b_chain.spec);
+  for (const auto& c : changes) unbatched.ApplyOne(c.loc, c.time, c.delta);
+  std::vector<Change<uint64_t>> batch = changes;
+  ConsolidateChanges(batch);
+  EXPECT_LT(batch.size(), changes.size());
+  batched.Apply(std::span<const Change<uint64_t>>(batch.data(), batch.size()));
+  for (uint32_t loc : {a_chain.op_in, a_chain.sink_in}) {
+    EXPECT_EQ(unbatched.FrontierAt(loc) == batched.FrontierAt(loc), true)
+        << "port frontiers diverge at loc " << loc;
+  }
+  EXPECT_EQ(unbatched.Complete(), batched.Complete());
+}
+
 }  // namespace
 }  // namespace timely

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <set>
@@ -437,6 +438,125 @@ TEST(Timely, CapabilityRetainHoldsDownstreamFrontier) {
     input->Close();
   });
   EXPECT_FALSE(fired_before_release.load());
+}
+
+// --- batch channel APIs --------------------------------------------------
+
+TEST(Channel, PullAllDrainsInFifoOrderPerWorker) {
+  Channel<uint64_t, uint64_t> chan(2);
+  for (uint64_t i = 0; i < 5; ++i) {
+    Bundle<uint64_t, uint64_t> b;
+    b.time = i;
+    b.data = {i * 10, i * 10 + 1};
+    chan.Push(0, std::move(b));
+  }
+  Bundle<uint64_t, uint64_t> other;
+  other.time = 99;
+  other.data = {99};
+  chan.Push(1, std::move(other));
+
+  std::deque<Bundle<uint64_t, uint64_t>> drained;
+  EXPECT_EQ(chan.PullAll(0, drained), 5u);
+  ASSERT_EQ(drained.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(drained[i].time, i);
+    EXPECT_EQ(drained[i].data, (std::vector<uint64_t>{i * 10, i * 10 + 1}));
+  }
+  // Worker 0's queue is now empty; worker 1's bundle was untouched.
+  drained.clear();
+  EXPECT_EQ(chan.PullAll(0, drained), 0u);
+  EXPECT_EQ(chan.PullAll(1, drained), 1u);
+  EXPECT_EQ(drained.front().time, 99u);
+}
+
+TEST(Channel, PullAllAppendsWhenOutNonEmpty) {
+  Channel<uint64_t, uint64_t> chan(1);
+  std::deque<Bundle<uint64_t, uint64_t>> drained;
+  Bundle<uint64_t, uint64_t> b1;
+  b1.time = 1;
+  chan.Push(0, std::move(b1));
+  EXPECT_EQ(chan.PullAll(0, drained), 1u);
+  Bundle<uint64_t, uint64_t> b2;
+  b2.time = 2;
+  chan.Push(0, std::move(b2));
+  // Drain without clearing: the new bundle appends after the old one.
+  EXPECT_EQ(chan.PullAll(0, drained), 1u);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].time, 1u);
+  EXPECT_EQ(drained[1].time, 2u);
+}
+
+TEST(Channel, PushManyPreservesOrderAndInterleavesWithPush) {
+  Channel<uint64_t, uint64_t> chan(1);
+  Bundle<uint64_t, uint64_t> first;
+  first.time = 1;
+  chan.Push(0, std::move(first));
+  std::deque<Bundle<uint64_t, uint64_t>> batch;
+  for (uint64_t t = 2; t <= 4; ++t) {
+    Bundle<uint64_t, uint64_t> b;
+    b.time = t;
+    batch.push_back(std::move(b));
+  }
+  chan.PushMany(0, batch);
+  EXPECT_TRUE(batch.empty());
+  std::deque<Bundle<uint64_t, uint64_t>> drained;
+  EXPECT_EQ(chan.PullAll(0, drained), 4u);
+  for (uint64_t t = 1; t <= 4; ++t) EXPECT_EQ(drained[t - 1].time, t);
+}
+
+TEST(Channel, BufferPoolRecyclesCapacity) {
+  Channel<uint64_t, uint64_t> chan(1);
+  // A dry pool yields an empty buffer.
+  std::vector<uint64_t> fresh = chan.AcquireBuffer(0);
+  EXPECT_EQ(fresh.capacity(), 0u);
+
+  std::vector<uint64_t> buf;
+  buf.reserve(1024);
+  buf.push_back(7);
+  const uint64_t* data = buf.data();
+  chan.RecycleBuffer(std::move(buf), 0);
+  EXPECT_EQ(chan.PooledBuffers(), 1u);
+
+  std::vector<uint64_t> reused = chan.AcquireBuffer(0);
+  EXPECT_TRUE(reused.empty());            // recycled buffers come back clean
+  EXPECT_GE(reused.capacity(), 1024u);    // with their capacity intact
+  EXPECT_EQ(reused.data(), data);         // and it is the same allocation
+  EXPECT_EQ(chan.PooledBuffers(), 0u);
+
+  // Capacity-less buffers are dropped rather than pooled.
+  chan.RecycleBuffer(std::vector<uint64_t>{}, 0);
+  EXPECT_EQ(chan.PooledBuffers(), 0u);
+}
+
+TEST(Channel, BufferPoolFlowsFromReceiverBackToSender) {
+  // End to end: drained bundle buffers flow back through the channel pool
+  // to the sender. SendBatch adopts the caller's vector as the bundle and
+  // hands back a pooled buffer in its place, so once the receiver has
+  // drained and recycled round N's buffer, round N+1's SendBatch must
+  // return a buffer with that capacity (a dry pool returns capacity 0).
+  std::atomic<uint64_t> seen{0};
+  std::atomic<uint64_t> pooled_rounds{0};
+  Execute(Config{1}, [&](Worker& w) {
+    auto handles = w.Dataflow<uint64_t>([&](Scope<uint64_t>& s) {
+      auto [in, stream] = NewInput<uint64_t>(s);
+      Sink(stream, [&](const uint64_t&, std::vector<uint64_t>& data) {
+        seen += data.size();
+      });
+      return std::make_pair(in, Probe(stream));
+    });
+    auto& [input, probe] = handles;
+    std::vector<uint64_t> batch;
+    for (int round = 0; round < 4; ++round) {
+      batch.assign(2048, 1);
+      input->SendBatch(std::move(batch));
+      if (round > 0 && batch.capacity() >= 2048) pooled_rounds++;
+      w.Step();
+    }
+    input->Close();
+  });
+  EXPECT_EQ(seen.load(), 4u * 2048u);
+  // Every round after the first must have been served from the pool.
+  EXPECT_EQ(pooled_rounds.load(), 3u);
 }
 
 }  // namespace
