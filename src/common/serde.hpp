@@ -14,10 +14,13 @@
 //   static T Deserialize(megaphone::Reader& r);
 #pragma once
 
+#include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <tuple>
 #include <type_traits>
@@ -28,6 +31,17 @@
 #include "common/check.hpp"
 
 namespace megaphone {
+
+/// Thrown when a decode would read past the end of its buffer, when a
+/// length prefix exceeds what the remaining bytes could possibly hold, or
+/// when a full-buffer decode leaves trailing bytes. Malformed input —
+/// a truncated network frame, a corrupted migration payload — surfaces as
+/// a catchable error instead of an out-of-bounds read or a giant
+/// allocation.
+class SerdeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Append-only byte sink used when encoding.
 class Writer {
@@ -52,9 +66,22 @@ class Reader {
       : Reader(v.data(), v.size()) {}
 
   void ReadBytes(void* out, size_t n) {
-    MEGA_CHECK_LE(pos_ + n, size_) << "serde: read past end of buffer";
+    if (n > size_ - pos_) throw SerdeError("serde: read past end of buffer");
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
+  }
+
+  /// Reads a u64 element count for a container whose elements occupy at
+  /// least `min_elem_bytes` each, and verifies the remaining bytes could
+  /// hold that many elements — so a corrupted or truncated length prefix
+  /// fails cleanly instead of driving a multi-gigabyte reserve.
+  uint64_t ReadCount(size_t min_elem_bytes) {
+    uint64_t n;
+    ReadBytes(&n, sizeof(n));
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      throw SerdeError("serde: length prefix exceeds remaining buffer");
+    }
+    return n;
   }
 
   bool AtEnd() const { return pos_ == size_; }
@@ -97,7 +124,7 @@ template <typename T>
 T DecodeFromBytes(const std::vector<uint8_t>& bytes) {
   Reader r(bytes);
   T value = Decode<T>(r);
-  MEGA_CHECK(r.AtEnd()) << "serde: trailing bytes after decode";
+  if (!r.AtEnd()) throw SerdeError("serde: trailing bytes after decode");
   return value;
 }
 
@@ -120,6 +147,22 @@ struct IsStdWrapper<std::optional<T>> : std::true_type {};
 template <typename... Ts>
 struct IsStdWrapper<std::tuple<Ts...>> : std::true_type {};
 }  // namespace detail
+
+/// Cap on up-front container reserves while decoding: length prefixes are
+/// only loosely validated (>= 1 byte per element), so reserves beyond this
+/// are left to organic growth as elements actually decode.
+constexpr uint64_t kMaxSpeculativeReserve = 1ull << 16;
+
+/// True when Serde<T> has a usable specialization — the gate the remote
+/// channel path uses to decide (at compile time) whether a bundle type can
+/// cross process boundaries.
+template <typename T>
+concept Serializable = requires(Writer& w, Reader& r, const T& v) {
+  Serde<std::remove_cvref_t<T>>::Encode(w, v);
+  {
+    Serde<std::remove_cvref_t<T>>::Decode(r)
+  } -> std::same_as<std::remove_cvref_t<T>>;
+};
 
 // Trivially copyable scalars and PODs without member serde.
 template <typename T>
@@ -149,8 +192,7 @@ struct Serde<std::string> {
     w.WriteBytes(s.data(), s.size());
   }
   static std::string Decode(Reader& r) {
-    uint64_t n;
-    r.ReadBytes(&n, sizeof(n));
+    uint64_t n = r.ReadCount(1);
     std::string s(n, '\0');
     r.ReadBytes(s.data(), n);
     return s;
@@ -209,15 +251,19 @@ struct Serde<std::vector<T>> {
     }
   }
   static std::vector<T> Decode(Reader& r) {
-    uint64_t n;
-    r.ReadBytes(&n, sizeof(n));
     std::vector<T> v;
     if constexpr (std::is_trivially_copyable_v<T> &&
                   !detail::HasMemberSerde<T>) {
+      uint64_t n = r.ReadCount(sizeof(T));
       v.resize(n);
       r.ReadBytes(v.data(), n * sizeof(T));
     } else {
-      v.reserve(n);
+      uint64_t n = r.ReadCount(1);
+      // Reserve is speculative (ReadCount only bounds n by remaining
+      // bytes at >= 1 byte/element); clamp it so a corrupt count cannot
+      // drive a huge up-front allocation — growth past the clamp just
+      // reallocates as elements actually decode.
+      v.reserve(std::min<uint64_t>(n, kMaxSpeculativeReserve));
       for (uint64_t i = 0; i < n; ++i) v.push_back(megaphone::Decode<T>(r));
     }
     return v;
@@ -235,8 +281,7 @@ struct Serde<std::map<K, V, C>> {
     }
   }
   static std::map<K, V, C> Decode(Reader& r) {
-    uint64_t n;
-    r.ReadBytes(&n, sizeof(n));
+    uint64_t n = r.ReadCount(1);
     std::map<K, V, C> m;
     for (uint64_t i = 0; i < n; ++i) {
       K k = megaphone::Decode<K>(r);
@@ -258,10 +303,11 @@ struct Serde<std::unordered_map<K, V, H, E>> {
     }
   }
   static std::unordered_map<K, V, H, E> Decode(Reader& r) {
-    uint64_t n;
-    r.ReadBytes(&n, sizeof(n));
+    uint64_t n = r.ReadCount(1);
     std::unordered_map<K, V, H, E> m;
-    m.reserve(n);
+    // Clamped for the same reason as the vector path: a corrupt count
+    // must not drive a multi-gigabyte bucket-array allocation up front.
+    m.reserve(std::min<uint64_t>(n, kMaxSpeculativeReserve));
     for (uint64_t i = 0; i < n; ++i) {
       K k = megaphone::Decode<K>(r);
       V v = megaphone::Decode<V>(r);

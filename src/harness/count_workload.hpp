@@ -16,10 +16,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -364,6 +366,173 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
     }
   });
   result.records_sent = total_sent.load();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic count workload: the multi-process correctness harness.
+//
+// Unlike the open-loop bench above, every quantity here is independent of
+// wall time: a fixed record set (CountKey over a dense global index
+// space, strided by global worker), a fixed epoch schedule driven in
+// lockstep (each epoch waits for the probe before the next), and a
+// migration issued at a fixed epoch. Any run with the same
+// (total_workers, bins, records, epochs, migration) — whatever its
+// process split — must produce byte-identical final counts and the same
+// number of completed migration batches, which is exactly what the
+// multi-process integration test asserts.
+
+struct DetCountConfig {
+  uint32_t total_workers = 4;
+  uint32_t num_bins = 64;
+  uint64_t domain = 1 << 12;        // distinct keys; power of two
+  uint64_t records_per_epoch = 4096;  // all workers combined
+  uint64_t epochs = 8;
+  /// Epoch at which every worker schedules the initial->imbalanced
+  /// migration; >= epochs disables migration.
+  uint64_t migrate_at_epoch = 3;
+  MigrationStrategy strategy = MigrationStrategy::kFluid;
+  size_t batch_size = 1;
+  uint64_t seed = 1;
+};
+
+struct DetCountResult {
+  /// Serialized sorted (key -> final count) map; filled only in the
+  /// process hosting global worker 0.
+  std::vector<uint8_t> digest;
+  uint64_t distinct_keys = 0;
+  size_t completed_batches = 0;
+  /// True iff this process hosted global worker 0 (owns digest/batches).
+  bool root = false;
+  /// Records injected by this process's workers.
+  uint64_t records_sent = 0;
+};
+
+/// Runs the deterministic count workload under `tcfg` (whose
+/// workers * processes must equal cfg.total_workers).
+inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
+                                            const timely::Config& tcfg) {
+  using timely::OpCtx;
+  using timely::Pact;
+  using timely::Scope;
+  using timely::Worker;
+  using T = uint64_t;
+  using KV = std::pair<uint64_t, uint64_t>;
+
+  const uint32_t W = cfg.total_workers;
+  MEGA_CHECK_EQ(tcfg.workers * std::max(1u, tcfg.processes), W);
+  MEGA_CHECK((cfg.domain & (cfg.domain - 1)) == 0) << "domain: power of two";
+
+  DetCountResult result;
+  std::mutex result_mu;
+  std::shared_ptr<std::map<uint64_t, uint64_t>> root_counts;
+  std::atomic<uint64_t> total_sent{0};
+
+  timely::Execute(tcfg, [&](Worker& w) {
+    struct Handles {
+      timely::Input<ControlInst, T> ctrl;
+      timely::Input<uint64_t, T> data;
+      timely::ProbeHandle<T> probe;
+      std::shared_ptr<std::map<uint64_t, uint64_t>> counts;
+    };
+    auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
+      auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
+      auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
+      Config mcfg;
+      mcfg.num_bins = cfg.num_bins;
+      mcfg.name = "DetCount";
+      using BinState = std::unordered_map<uint64_t, uint64_t>;
+      // Every record emits its key's running count; the collector below
+      // keeps the maximum per key, which equals the final count.
+      auto out = Unary<BinState, KV>(
+          ctrl_stream, data_stream,
+          [](const uint64_t& k) { return HashMix64(k); },
+          [](const T&, BinState& state, std::vector<uint64_t>& recs,
+             auto emit, auto&) {
+            for (uint64_t k : recs) emit(KV{k, ++state[k]});
+          },
+          mcfg);
+
+      // Collector on global worker 0: the single point of truth any
+      // process split must agree with.
+      auto counts = std::make_shared<std::map<uint64_t, uint64_t>>();
+      timely::OperatorBuilder<T> cb(s, "Collect");
+      auto* cin = cb.AddInput(
+          out.stream, Pact<KV>::Exchange([](const KV&) { return uint64_t{0}; }));
+      cb.Build([cin, counts](OpCtx<T>&) {
+        cin->ForEach([&](const T&, std::vector<KV>& recs) {
+          for (auto& kc : recs) {
+            uint64_t& slot = (*counts)[kc.first];
+            if (kc.second > slot) slot = kc.second;
+          }
+        });
+      });
+      return Handles{ctrl_in, data_in, out.probe, counts};
+    });
+    auto& [ctrl_in, data_in, probe, counts] = handles;
+
+    typename MigrationController<T>::Options mopts;
+    mopts.strategy = cfg.strategy;
+    mopts.batch_size = cfg.batch_size;
+    mopts.gap = 0;
+    MigrationController<T> controller(ctrl_in, probe, w.index(), mopts);
+
+    const Assignment initial = MakeInitialAssignment(cfg.num_bins, W);
+    const Assignment target = MakeImbalancedAssignment(cfg.num_bins, W);
+    const uint32_t me = w.index();
+    uint64_t sent = 0;
+    std::vector<uint64_t> batch;
+
+    // Lockstep epochs: inject, advance, and wait for global completion of
+    // the epoch. The wait makes every worker's controller observe the
+    // same probe state at the same epoch, so batch issue/completion — and
+    // therefore completed_batches() — is deterministic.
+    for (uint64_t e = 0; e < cfg.epochs; ++e) {
+      if (e == cfg.migrate_at_epoch) controller.MigrateTo(initial, target);
+      controller.Advance(e, e + 1);
+      batch.clear();
+      for (uint64_t idx = e * cfg.records_per_epoch;
+           idx < (e + 1) * cfg.records_per_epoch; ++idx) {
+        if (idx % W == me) {
+          batch.push_back(detail::CountKey(cfg.seed, idx, cfg.domain));
+        }
+      }
+      sent += batch.size();
+      data_in->SendBatch(std::move(batch));
+      batch.clear();
+      data_in->AdvanceTo(e + 1);
+      w.StepUntil([&] { return !probe.LessThan(e + 1); });
+    }
+
+    // Drain epochs (no data) until the migration has fully completed, so
+    // completed_batches reflects the whole plan.
+    uint64_t e = cfg.epochs;
+    while (controller.Migrating()) {
+      controller.Advance(e, e + 1);
+      data_in->AdvanceTo(e + 1);
+      w.StepUntil([&] { return !probe.LessThan(e + 1); });
+      ++e;
+    }
+    size_t completed = controller.completed_batches();
+    controller.Close(e + 1);
+    data_in->Close();
+
+    total_sent += sent;
+    if (me == 0) {
+      std::lock_guard<std::mutex> lock(result_mu);
+      root_counts = counts;  // final after Execute's post-closure drain
+      result.completed_batches = completed;
+      result.root = true;
+    }
+  });
+
+  result.records_sent = total_sent.load();
+  if (root_counts) {
+    Writer w;
+    Encode(w, *root_counts);
+    result.digest = w.Take();
+    result.distinct_keys = root_counts->size();
+  }
   return result;
 }
 

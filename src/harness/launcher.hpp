@@ -1,0 +1,127 @@
+// Self-forking single-binary launcher for multi-process runs.
+//
+// A bench or test asks for P processes x W workers; the launcher binds
+// one kernel-assigned loopback listener per process *before* forking (so
+// ports are race-free and every process knows the full address list),
+// forks P-1 children, and hands each process a timely::Config carrying
+// its index and pre-bound listener. The parent is process 0 — the one
+// that hosts global worker 0 and therefore produces results — and reaps
+// the children with WaitForChildren.
+//
+// Fork happens before any threads exist (worker threads and mesh threads
+// are spawned inside timely::Execute), so the children are clean
+// single-threaded images of the launcher state.
+//
+// Manual mode (multi-terminal or multi-machine-style runs) skips the
+// fork: pass --process-index and every process derives the address list
+// from --base-port.
+#pragma once
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "harness/report.hpp"
+#include "net/socket.hpp"
+#include "timely/runtime.hpp"
+
+namespace megaphone {
+
+struct MultiProcess {
+  /// Fully populated for *this* process (index, addresses, listener).
+  timely::Config config;
+  /// Child pids; nonempty only in the parent of a forked run.
+  std::vector<pid_t> children;
+
+  /// True for the process hosting global worker 0 (results live here).
+  bool IsRoot() const { return config.process_index == 0; }
+};
+
+/// Binds listeners, forks `processes - 1` children, and returns each
+/// process's run configuration. With processes <= 1 no sockets or forks
+/// happen at all — the classic thread runtime.
+inline MultiProcess LaunchLoopbackProcesses(uint32_t processes,
+                                            uint32_t workers_per_process) {
+  MEGA_CHECK_GE(processes, 1u);
+  MultiProcess mp;
+  mp.config.workers = workers_per_process;
+  mp.config.processes = processes;
+  if (processes <= 1) return mp;
+
+  std::vector<int> listeners(processes);
+  for (uint32_t p = 0; p < processes; ++p) {
+    listeners[p] =
+        net::BindListener("127.0.0.1", 0, static_cast<int>(processes));
+    mp.config.addresses.push_back(
+        "127.0.0.1:" + std::to_string(net::ListenerPort(listeners[p])));
+  }
+
+  uint32_t my_index = 0;
+  for (uint32_t p = 1; p < processes; ++p) {
+    pid_t pid = ::fork();
+    MEGA_CHECK_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      my_index = p;
+      mp.children.clear();
+      break;
+    }
+    mp.children.push_back(pid);
+  }
+
+  mp.config.process_index = my_index;
+  mp.config.listen_fd = listeners[my_index];
+  for (uint32_t p = 0; p < processes; ++p) {
+    if (p != my_index) ::close(listeners[p]);
+  }
+  return mp;
+}
+
+/// Reaps every child; returns 0 iff all exited cleanly with status 0.
+inline int WaitForChildren(const std::vector<pid_t>& children) {
+  int rc = 0;
+  for (pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      rc = 1;
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) rc = 1;
+  }
+  return rc;
+}
+
+/// Builds the run configuration from harness flags:
+///   --processes=P [--workers=W]            self-forking loopback launch
+///   --processes=P --process-index=I        manual launch, no fork; every
+///     [--base-port=B] [--host=H]           process must be started with
+///                                          the same P/W/B
+inline MultiProcess SetupProcessesFromFlags(const Flags& flags,
+                                            uint32_t default_workers) {
+  uint32_t processes =
+      static_cast<uint32_t>(flags.GetInt("processes", 1));
+  uint32_t workers = static_cast<uint32_t>(
+      flags.GetInt("workers", default_workers));
+  if (!flags.Has("process-index")) {
+    return LaunchLoopbackProcesses(processes, workers);
+  }
+  MultiProcess mp;
+  mp.config.workers = workers;
+  mp.config.processes = processes;
+  mp.config.process_index =
+      static_cast<uint32_t>(flags.GetInt("process-index", 0));
+  mp.config.base_port =
+      static_cast<uint16_t>(flags.GetInt("base-port", 40123));
+  std::string host = flags.GetStr("host", "127.0.0.1");
+  for (uint32_t p = 0; p < processes; ++p) {
+    mp.config.addresses.push_back(
+        host + ":" + std::to_string(mp.config.base_port + p));
+  }
+  return mp;
+}
+
+}  // namespace megaphone

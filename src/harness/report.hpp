@@ -189,6 +189,18 @@ class Flags {
     }
     return dflt;
   }
+  std::string GetStr(const std::string& key, const std::string& dflt) const {
+    for (const auto& [k, v] : kv_) {
+      if (k == key) return v;
+    }
+    return dflt;
+  }
+  bool Has(const std::string& key) const {
+    for (const auto& kv : kv_) {
+      if (kv.first == key) return true;
+    }
+    return false;
+  }
 
  private:
   std::vector<std::pair<std::string, std::string>> kv_;

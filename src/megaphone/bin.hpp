@@ -160,12 +160,29 @@ class BinStashPool {
 /// plus its destination. Serialization is deliberate — its cost is
 /// proportional to the state size, which is what makes migration duration
 /// and memory behave as in the paper's evaluation.
+///
+/// Member serde lets the state channel itself cross process boundaries:
+/// a migration to a worker in another process ships these bytes over the
+/// mesh, so state genuinely moves over the wire.
 struct BinMigration {
   uint32_t target = 0;
   BinId bin = 0;
   std::vector<uint8_t> bytes;
 
   size_t WireSize() const { return bytes.size() + sizeof(uint32_t) * 2; }
+
+  void Serialize(Writer& w) const {
+    Encode(w, target);
+    Encode(w, bin);
+    Encode(w, bytes);
+  }
+  static BinMigration Deserialize(Reader& r) {
+    BinMigration m;
+    m.target = Decode<uint32_t>(r);
+    m.bin = Decode<BinId>(r);
+    m.bytes = Decode<std::vector<uint8_t>>(r);
+    return m;
+  }
 };
 
 }  // namespace megaphone

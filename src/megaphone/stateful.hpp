@@ -77,12 +77,34 @@ struct Config {
 
 /// A record in flight from F to S, tagged with its destination worker and
 /// bin. Carrying the bin id saves S from recomputing the key function on
-/// every record.
+/// every record. Member serde (usable whenever D itself is serializable)
+/// lets the F→S channel span processes, so routed records reach bins
+/// hosted by workers of other processes.
 template <typename D>
 struct Routed {
   uint32_t target = 0;
   BinId bin = 0;
   D payload{};
+
+  // Gated so a non-serializable D keeps Routed<D> out of Serde entirely:
+  // single-process dataflows over such types still compile, and only a
+  // remote push trips the runtime "cannot cross process boundaries" check.
+  void Serialize(Writer& w) const
+    requires Serializable<D>
+  {
+    Encode(w, target);
+    Encode(w, bin);
+    Encode(w, payload);
+  }
+  static Routed Deserialize(Reader& r)
+    requires Serializable<D>
+  {
+    Routed out;
+    out.target = Decode<uint32_t>(r);
+    out.bin = Decode<BinId>(r);
+    out.payload = Decode<D>(r);
+    return out;
+  }
 };
 
 /// Same-thread F→S handoff for self-routed records. Co-located F and S

@@ -1,0 +1,114 @@
+// Wire format of the process mesh: length-prefixed frames.
+//
+//   frame     := header payload
+//   header    := u32 kind | u32 target | u64 key | u64 payload_len
+//   kind      := 1 data | 2 progress | 3 goodbye
+//   key       := (dataflow_id << 32) | channel_id   for data frames
+//                dataflow_id                        for progress frames
+//   target    := destination global worker index    (data frames only)
+//   payload   := serde bytes (bundle: T time, vector<D> records;
+//                progress: u64 n, n * Change{u32 loc, T time, i64 delta})
+//
+// Header fields are fixed-width host-endian integers: every process of a
+// run executes the same binary on the same machine (the self-forking
+// launcher), which is the deployment this reproduction models. A
+// connection opens with a handshake (magic, protocol version, sender's
+// process index) so misconfigured meshes fail loudly instead of
+// misrouting frames.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace megaphone {
+namespace net {
+
+enum class FrameKind : uint32_t {
+  kData = 1,
+  kProgress = 2,
+  kGoodbye = 3,
+};
+
+struct FrameHeader {
+  uint32_t kind = 0;
+  uint32_t target = 0;
+  uint64_t key = 0;
+  uint64_t payload_len = 0;
+};
+
+constexpr size_t kFrameHeaderBytes = 24;
+/// Upper bound on a single frame payload: far above any real bundle or
+/// progress batch (the largest legitimate payloads are migrating bins),
+/// far below what a corrupted length prefix could use to exhaust memory.
+constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+inline void EncodeFrameHeader(uint8_t* out, const FrameHeader& h) {
+  std::memcpy(out, &h.kind, 4);
+  std::memcpy(out + 4, &h.target, 4);
+  std::memcpy(out + 8, &h.key, 8);
+  std::memcpy(out + 16, &h.payload_len, 8);
+}
+
+inline FrameHeader DecodeFrameHeader(const uint8_t* in) {
+  FrameHeader h;
+  std::memcpy(&h.kind, in, 4);
+  std::memcpy(&h.target, in + 4, 4);
+  std::memcpy(&h.key, in + 8, 8);
+  std::memcpy(&h.payload_len, in + 16, 8);
+  return h;
+}
+
+/// Builds a ready-to-write frame (header + payload in one buffer).
+inline std::vector<uint8_t> BuildFrame(FrameKind kind, uint32_t target,
+                                       uint64_t key,
+                                       const std::vector<uint8_t>& payload) {
+  FrameHeader h;
+  h.kind = static_cast<uint32_t>(kind);
+  h.target = target;
+  h.key = key;
+  h.payload_len = payload.size();
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload.size());
+  EncodeFrameHeader(frame.data(), h);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return frame;
+}
+
+inline uint64_t DataKey(uint64_t dataflow_id, uint64_t channel_id) {
+  MEGA_DCHECK(dataflow_id < (1ull << 32) && channel_id < (1ull << 32));
+  return (dataflow_id << 32) | channel_id;
+}
+
+// --- connection handshake -------------------------------------------------
+
+constexpr uint64_t kHandshakeMagic = 0x4d45474150484f4eULL;  // "MEGAPHON"
+constexpr uint32_t kProtocolVersion = 1;
+constexpr size_t kHandshakeBytes = 16;
+
+struct Handshake {
+  uint64_t magic = kHandshakeMagic;
+  uint32_t version = kProtocolVersion;
+  uint32_t process = 0;
+};
+
+inline void EncodeHandshake(uint8_t* out, const Handshake& h) {
+  std::memcpy(out, &h.magic, 8);
+  std::memcpy(out + 8, &h.version, 4);
+  std::memcpy(out + 12, &h.process, 4);
+}
+
+inline Handshake DecodeHandshake(const uint8_t* in) {
+  Handshake h;
+  std::memcpy(&h.magic, in, 8);
+  std::memcpy(&h.version, in + 8, 4);
+  std::memcpy(&h.process, in + 12, 4);
+  return h;
+}
+
+}  // namespace net
+}  // namespace megaphone

@@ -1,0 +1,426 @@
+// The process mesh: one TCP connection per peer process, a send thread
+// draining a bounded byte-budgeted queue and a receive thread parsing
+// frames per peer.
+//
+// Topology: process i accepts connections from every j > i and initiates
+// connections to every j < i (the standard full-mesh bring-up; the listen
+// backlog absorbs arbitrary arrival order). Every connection opens with a
+// handshake carrying the initiator's process index so the acceptor knows
+// which peer it is talking to.
+//
+// Ordering: the per-peer send queue is FIFO and frames are written whole,
+// so everything a process enqueues for one peer arrives in order. The
+// engine's cross-process safety protocol rests on exactly this: a
+// worker's progress batch (carrying `produced` counts) is enqueued before
+// the data bundles it covers, so no receiving process can observe a
+// bundle whose production its tracker replica has not yet counted.
+//
+// Delivery before registration: data and progress handlers are registered
+// while workers build their dataflows, but a faster peer may ship frames
+// earlier. The dispatcher buffers frames per key and replays them, in
+// order, when the handler arrives.
+//
+// Shutdown: each send thread emits a goodbye frame after draining its
+// queue; each receive thread runs until it has seen the peer's goodbye
+// (or EOF). Shutdown() therefore acts as a global termination barrier —
+// a process only tears down its sockets after every peer has said it is
+// done sending. `force` (error paths) skips waiting via the stop flag.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "timely/remote.hpp"
+
+namespace megaphone {
+namespace net {
+
+struct MeshOptions {
+  uint32_t processes = 1;
+  uint32_t process_index = 0;
+  uint32_t workers_per_process = 1;
+  /// One "host:port" per process. Required when processes > 1.
+  std::vector<std::string> addresses;
+  /// Pre-bound listener for this process (the self-forking launcher binds
+  /// port-0 listeners before forking, so ports are race-free); -1 means
+  /// the mesh binds addresses[process_index] itself.
+  int listen_fd = -1;
+  uint64_t connect_timeout_ms = 30'000;
+  /// Bound on bytes queued per peer; producers block when exceeded
+  /// (backpressure toward the worker that is flooding the link).
+  size_t max_queue_bytes = 64u << 20;
+};
+
+class NetMesh final : public timely::NetRuntime {
+ public:
+  explicit NetMesh(MeshOptions opts) : opts_(std::move(opts)) {
+    MEGA_CHECK_GE(opts_.processes, 2u) << "mesh needs at least 2 processes";
+    MEGA_CHECK_LT(opts_.process_index, opts_.processes);
+    MEGA_CHECK_EQ(opts_.addresses.size(), opts_.processes)
+        << "one address per process required";
+
+    const uint32_t me = opts_.process_index;
+    listen_fd_ = opts_.listen_fd;
+    if (listen_fd_ < 0) {
+      Endpoint ep = ParseEndpoint(opts_.addresses[me]);
+      listen_fd_ = BindListener(ep.host, ep.port,
+                                static_cast<int>(opts_.processes));
+    }
+    SetNonBlocking(listen_fd_);
+
+    peers_.resize(opts_.processes);
+    // Initiate to lower-indexed peers; their listeners exist (the caller
+    // bound every address before starting, or the launcher pre-bound all
+    // listeners before forking) and their backlog holds us until they
+    // accept.
+    for (uint32_t j = 0; j < me; ++j) {
+      int fd = ConnectWithRetry(ParseEndpoint(opts_.addresses[j]),
+                                opts_.connect_timeout_ms);
+      uint8_t buf[kHandshakeBytes];
+      EncodeHandshake(buf, Handshake{kHandshakeMagic, kProtocolVersion, me});
+      MEGA_CHECK(WriteFull(fd, buf, kHandshakeBytes, stop_))
+          << "handshake write to process " << j << " failed";
+      MEGA_CHECK(ReadFull(fd, buf, kHandshakeBytes, stop_))
+          << "handshake read from process " << j << " failed";
+      Handshake peer = DecodeHandshake(buf);
+      MEGA_CHECK(peer.magic == kHandshakeMagic &&
+                 peer.version == kProtocolVersion && peer.process == j)
+          << "bad handshake from process " << j;
+      InstallPeer(j, fd);
+    }
+    // Accept from higher-indexed peers, identifying each by handshake.
+    for (uint32_t remaining = opts_.processes - me - 1; remaining > 0;
+         --remaining) {
+      int fd = AcceptWithTimeout(listen_fd_, opts_.connect_timeout_ms);
+      uint8_t buf[kHandshakeBytes];
+      MEGA_CHECK(ReadFull(fd, buf, kHandshakeBytes, stop_))
+          << "handshake read on accepted connection failed";
+      Handshake peer = DecodeHandshake(buf);
+      MEGA_CHECK(peer.magic == kHandshakeMagic &&
+                 peer.version == kProtocolVersion && peer.process > me &&
+                 peer.process < opts_.processes && !peers_[peer.process])
+          << "bad handshake on accepted connection";
+      EncodeHandshake(buf, Handshake{kHandshakeMagic, kProtocolVersion, me});
+      MEGA_CHECK(WriteFull(fd, buf, kHandshakeBytes, stop_))
+          << "handshake write on accepted connection failed";
+      InstallPeer(peer.process, fd);
+    }
+    // Threads start only after the full mesh is up. A receive thread that
+    // fails (malformed frame, decode error from corrupted bytes) aborts
+    // with a diagnostic rather than escaping into std::terminate.
+    for (auto& p : peers_) {
+      if (!p) continue;
+      Peer* peer = p.get();
+      peer->send_thread = std::thread([this, peer] { SendLoop(*peer); });
+      peer->recv_thread = std::thread([this, peer] {
+        try {
+          RecvLoop(*peer);
+        } catch (const std::exception& e) {
+          MEGA_CHECK(false) << "mesh receive thread for peer "
+                            << peer->process << " failed: " << e.what();
+        }
+      });
+    }
+  }
+
+  ~NetMesh() override { Shutdown(/*force=*/true); }
+
+  NetMesh(const NetMesh&) = delete;
+  NetMesh& operator=(const NetMesh&) = delete;
+
+  /// Flushes every queue, exchanges goodbyes, joins threads, and closes
+  /// sockets. The normal (non-forced) path returns only after every peer
+  /// has finished sending — a clean global teardown. Idempotent.
+  void Shutdown(bool force = false) {
+    bool expected = false;
+    if (!shut_.compare_exchange_strong(expected, true)) return;
+    if (force) stop_.store(true, std::memory_order_relaxed);
+    for (auto& p : peers_) {
+      if (!p) continue;
+      {
+        std::lock_guard<std::mutex> lock(p->mu);
+        p->closing = true;
+      }
+      p->cv_pop.notify_all();
+      p->cv_push.notify_all();
+    }
+    for (auto& p : peers_) {
+      if (!p) continue;
+      if (p->send_thread.joinable()) p->send_thread.join();
+      if (p->recv_thread.joinable()) p->recv_thread.join();
+      ::close(p->fd);
+      p->fd = -1;
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  // --- timely::NetRuntime ----------------------------------------------
+
+  uint32_t processes() const override { return opts_.processes; }
+  uint32_t process_index() const override { return opts_.process_index; }
+  uint32_t workers_per_process() const override {
+    return opts_.workers_per_process;
+  }
+
+  void SendData(uint64_t dataflow_id, uint64_t channel_id,
+                uint32_t target_worker,
+                std::vector<uint8_t> payload) override {
+    uint32_t proc = ProcessOfWorker(target_worker);
+    MEGA_CHECK(proc != opts_.process_index && proc < opts_.processes)
+        << "SendData target is not a remote worker";
+    Enqueue(*peers_[proc],
+            MakeOutFrame(FrameKind::kData, target_worker,
+                         DataKey(dataflow_id, channel_id),
+                         std::move(payload)));
+  }
+
+  void BroadcastProgress(uint64_t dataflow_id,
+                         std::vector<uint8_t> payload) override {
+    // Copy for all peers but the last, which takes the payload itself —
+    // with P=2 (one peer) the per-step broadcast never copies.
+    Peer* last = nullptr;
+    for (auto& p : peers_) {
+      if (!p) continue;
+      if (last != nullptr) {
+        Enqueue(*last, MakeOutFrame(FrameKind::kProgress, 0, dataflow_id,
+                                    std::vector<uint8_t>(payload)));
+      }
+      last = p.get();
+    }
+    if (last != nullptr) {
+      Enqueue(*last, MakeOutFrame(FrameKind::kProgress, 0, dataflow_id,
+                                  std::move(payload)));
+    }
+  }
+
+  void RegisterDataHandler(uint64_t dataflow_id, uint64_t channel_id,
+                           DataHandler handler) override {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    uint64_t key = DataKey(dataflow_id, channel_id);
+    auto pending = pending_data_.find(key);
+    if (pending != pending_data_.end()) {
+      for (auto& [target, bytes] : pending->second) {
+        megaphone::Reader r(bytes);
+        handler(target, r);
+      }
+      pending_data_.erase(pending);
+    }
+    data_handlers_[key] = std::move(handler);
+  }
+
+  void RegisterProgressHandler(uint64_t dataflow_id,
+                               ProgressHandler handler) override {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    auto pending = pending_progress_.find(dataflow_id);
+    if (pending != pending_progress_.end()) {
+      for (auto& bytes : pending->second) {
+        megaphone::Reader r(bytes);
+        handler(r);
+      }
+      pending_progress_.erase(pending);
+    }
+    progress_handlers_[dataflow_id] = std::move(handler);
+  }
+
+  /// Bytes currently queued toward `process` (introspection for tests).
+  size_t QueuedBytes(uint32_t process) const {
+    const auto& p = peers_[process];
+    if (!p) return 0;
+    std::lock_guard<std::mutex> lock(p->mu);
+    return p->queued_bytes;
+  }
+
+ private:
+  /// An outbound frame kept as (header, payload) so payload bytes are
+  /// never copied into a contiguous frame buffer; the send thread writes
+  /// both parts with one gathered sendmsg.
+  struct OutFrame {
+    std::array<uint8_t, kFrameHeaderBytes> header;
+    std::vector<uint8_t> payload;
+
+    size_t size() const { return header.size() + payload.size(); }
+  };
+
+  static OutFrame MakeOutFrame(FrameKind kind, uint32_t target, uint64_t key,
+                               std::vector<uint8_t> payload) {
+    OutFrame f;
+    FrameHeader h;
+    h.kind = static_cast<uint32_t>(kind);
+    h.target = target;
+    h.key = key;
+    h.payload_len = payload.size();
+    EncodeFrameHeader(f.header.data(), h);
+    f.payload = std::move(payload);
+    return f;
+  }
+
+  struct Peer {
+    uint32_t process = 0;
+    int fd = -1;
+    std::thread send_thread;
+    std::thread recv_thread;
+
+    mutable std::mutex mu;
+    std::condition_variable cv_push;  // space available
+    std::condition_variable cv_pop;   // frames (or closing) available
+    std::deque<OutFrame> queue;
+    size_t queued_bytes = 0;
+    bool closing = false;
+  };
+
+  void InstallPeer(uint32_t process, int fd) {
+    auto p = std::make_unique<Peer>();
+    p->process = process;
+    p->fd = fd;
+    peers_[process] = std::move(p);
+  }
+
+  void Enqueue(Peer& p, OutFrame frame) {
+    std::unique_lock<std::mutex> lock(p.mu);
+    p.cv_push.wait(lock, [&] {
+      return p.queued_bytes < opts_.max_queue_bytes || p.closing ||
+             stop_.load(std::memory_order_relaxed);
+    });
+    // Enqueueing after Shutdown would silently lose the frame (the send
+    // thread may already have drained and said goodbye): a loud failure
+    // beats a mesh that claims "all frames delivered" while dropping one.
+    MEGA_CHECK(!p.closing) << "send to peer " << p.process
+                           << " after Shutdown";
+    p.queued_bytes += frame.size();
+    p.queue.push_back(std::move(frame));
+    p.cv_pop.notify_one();
+  }
+
+  void SendLoop(Peer& p) {
+    for (;;) {
+      OutFrame frame;
+      {
+        std::unique_lock<std::mutex> lock(p.mu);
+        p.cv_pop.wait(lock, [&] { return !p.queue.empty() || p.closing; });
+        if (p.queue.empty()) break;  // closing, fully drained
+        frame = std::move(p.queue.front());
+        p.queue.pop_front();
+        p.queued_bytes -= frame.size();
+        p.cv_push.notify_all();
+      }
+      if (!WritevFull(p.fd, frame.header.data(), frame.header.size(),
+                      frame.payload.data(), frame.payload.size(), stop_)) {
+        return;
+      }
+    }
+    OutFrame bye = MakeOutFrame(FrameKind::kGoodbye, 0, 0, {});
+    WriteFull(p.fd, bye.header.data(), bye.header.size(), stop_);
+    ::shutdown(p.fd, SHUT_WR);
+  }
+
+  void RecvLoop(Peer& p) {
+    uint8_t header[kFrameHeaderBytes];
+    for (;;) {
+      bool partial = false;
+      if (!ReadFull(p.fd, header, kFrameHeaderBytes, stop_, &partial)) {
+        if (stop_.load(std::memory_order_relaxed)) return;  // forced stop
+        // A healthy peer always says goodbye before closing (even on its
+        // error path). EOF without one means the peer died — fail fast
+        // here rather than letting the local workers wait forever for
+        // progress counts that will never arrive.
+        MEGA_CHECK(!partial) << "peer " << p.process << " closed mid-frame";
+        MEGA_CHECK(false) << "peer " << p.process
+                          << " disconnected before goodbye";
+      }
+      FrameHeader h = DecodeFrameHeader(header);
+      MEGA_CHECK(h.payload_len <= kMaxFramePayload)
+          << "oversized frame from peer " << p.process;
+      std::vector<uint8_t> payload(h.payload_len);
+      if (h.payload_len > 0 &&
+          !ReadFull(p.fd, payload.data(), h.payload_len, stop_)) {
+        MEGA_CHECK(stop_.load(std::memory_order_relaxed))
+            << "peer " << p.process << " closed mid-frame";
+        return;
+      }
+      switch (static_cast<FrameKind>(h.kind)) {
+        case FrameKind::kGoodbye:
+          return;  // peer finished sending; our send side drains on its own
+        case FrameKind::kData:
+          DispatchData(h.key, h.target, std::move(payload));
+          break;
+        case FrameKind::kProgress:
+          DispatchProgress(h.key, std::move(payload));
+          break;
+        default:
+          MEGA_CHECK(false) << "unknown frame kind " << h.kind
+                            << " from peer " << p.process;
+      }
+    }
+  }
+
+  // Handlers run *outside* dispatch_mu_ so peers' receive threads decode
+  // concurrently: the lock only covers the lookup/buffering decision.
+  // Safe because a found handler implies its registration (including the
+  // buffered replay) fully completed, handlers are never replaced, and
+  // per-peer ordering is carried by each peer's single receive thread.
+  void DispatchData(uint64_t key, uint32_t target,
+                    std::vector<uint8_t> payload) {
+    const DataHandler* handler = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mu_);
+      auto it = data_handlers_.find(key);
+      if (it == data_handlers_.end()) {
+        pending_data_[key].emplace_back(target, std::move(payload));
+        return;
+      }
+      handler = &it->second;
+    }
+    megaphone::Reader r(payload);
+    (*handler)(target, r);
+  }
+
+  void DispatchProgress(uint64_t key, std::vector<uint8_t> payload) {
+    const ProgressHandler* handler = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mu_);
+      auto it = progress_handlers_.find(key);
+      if (it == progress_handlers_.end()) {
+        pending_progress_[key].push_back(std::move(payload));
+        return;
+      }
+      handler = &it->second;
+    }
+    megaphone::Reader r(payload);
+    (*handler)(r);
+  }
+
+  MeshOptions opts_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shut_{false};
+  std::vector<std::unique_ptr<Peer>> peers_;  // [process]; self is null
+
+  std::mutex dispatch_mu_;
+  std::unordered_map<uint64_t, DataHandler> data_handlers_;
+  std::unordered_map<uint64_t, ProgressHandler> progress_handlers_;
+  std::unordered_map<uint64_t,
+                     std::vector<std::pair<uint32_t, std::vector<uint8_t>>>>
+      pending_data_;
+  std::unordered_map<uint64_t, std::vector<std::vector<uint8_t>>>
+      pending_progress_;
+};
+
+}  // namespace net
+}  // namespace megaphone

@@ -1,0 +1,6 @@
+// Umbrella header for the process-mesh transport.
+#pragma once
+
+#include "net/frame.hpp"   // IWYU pragma: export
+#include "net/mesh.hpp"    // IWYU pragma: export
+#include "net/socket.hpp"  // IWYU pragma: export

@@ -1,0 +1,232 @@
+// Thin POSIX TCP helpers for the process mesh: loopback/NIC listeners,
+// connect-with-retry, and full-buffer reads/writes over nonblocking
+// sockets (poll-driven, with a cooperative stop flag so shutdown never
+// hangs on a dead peer).
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/time_util.hpp"
+
+namespace megaphone {
+namespace net {
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Parses "host:port"; fails loudly on a malformed or out-of-range port
+/// (silently mapping it to 0 would mean "kernel-assigned" and turn a typo
+/// into a connect-timeout mystery).
+inline Endpoint ParseEndpoint(const std::string& s) {
+  auto colon = s.rfind(':');
+  MEGA_CHECK(colon != std::string::npos) << "endpoint must be host:port: "
+                                         << s;
+  Endpoint ep;
+  ep.host = s.substr(0, colon);
+  const char* port_str = s.c_str() + colon + 1;
+  char* end = nullptr;
+  unsigned long port = std::strtoul(port_str, &end, 10);
+  MEGA_CHECK(end != port_str && *end == '\0' && port > 0 && port <= 65535)
+      << "bad port in endpoint: " << s;
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+inline void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  MEGA_CHECK_GE(flags, 0) << "fcntl(F_GETFL): " << std::strerror(errno);
+  MEGA_CHECK_GE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0)
+      << "fcntl(F_SETFL): " << std::strerror(errno);
+}
+
+inline void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+inline sockaddr_in MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  MEGA_CHECK_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1)
+      << "bad IPv4 address: " << host;
+  return addr;
+}
+
+/// Binds a listening socket on host:port (port 0 = kernel-assigned) and
+/// returns its fd. `backlog` should cover every peer that may connect.
+inline int BindListener(const std::string& host, uint16_t port,
+                        int backlog = 64) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MEGA_CHECK_GE(fd, 0) << "socket: " << std::strerror(errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = MakeAddr(host, port);
+  MEGA_CHECK_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+                0)
+      << "bind " << host << ":" << port << ": " << std::strerror(errno);
+  MEGA_CHECK_EQ(::listen(fd, backlog), 0)
+      << "listen: " << std::strerror(errno);
+  return fd;
+}
+
+/// The port a listener is actually bound to (resolves port 0).
+inline uint16_t ListenerPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  MEGA_CHECK_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len),
+                0)
+      << "getsockname: " << std::strerror(errno);
+  return ntohs(addr.sin_port);
+}
+
+/// Connects to `ep`, retrying (the peer may not be listening yet) until
+/// `timeout_ms` elapses. Returns a connected, nonblocking, NODELAY fd.
+inline int ConnectWithRetry(const Endpoint& ep, uint64_t timeout_ms) {
+  uint64_t deadline = NowNanos() + timeout_ms * 1'000'000;
+  sockaddr_in addr = MakeAddr(ep.host, ep.port);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MEGA_CHECK_GE(fd, 0) << "socket: " << std::strerror(errno);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      SetNonBlocking(fd);
+      SetNoDelay(fd);
+      return fd;
+    }
+    ::close(fd);
+    MEGA_CHECK(NowNanos() < deadline)
+        << "connect to " << ep.host << ":" << ep.port
+        << " timed out: " << std::strerror(errno);
+    ::usleep(2000);
+  }
+}
+
+/// Accepts one connection, polling until `timeout_ms` elapses. Returns a
+/// nonblocking, NODELAY fd.
+inline int AcceptWithTimeout(int listen_fd, uint64_t timeout_ms) {
+  uint64_t deadline = NowNanos() + timeout_ms * 1'000'000;
+  for (;;) {
+    pollfd p{listen_fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, 100);
+    if (rc > 0) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        SetNonBlocking(fd);
+        SetNoDelay(fd);
+        return fd;
+      }
+      MEGA_CHECK(errno == EAGAIN || errno == EWOULDBLOCK ||
+                 errno == ECONNABORTED || errno == EINTR)
+          << "accept: " << std::strerror(errno);
+    }
+    MEGA_CHECK(NowNanos() < deadline) << "accept timed out";
+  }
+}
+
+/// Writes a two-part (header, payload) message fully, using gathered
+/// sendmsg so the frame needs no contiguous copy and small frames still
+/// leave as one segment. Returns false on error, close, or stop.
+inline bool WritevFull(int fd, const uint8_t* a, size_t an, const uint8_t* b,
+                       size_t bn, const std::atomic<bool>& stop) {
+  size_t off = 0;
+  const size_t total = an + bn;
+  while (off < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (off < an) {
+      iov[iovcnt++] = {const_cast<uint8_t*>(a) + off, an - off};
+      if (bn > 0) iov[iovcnt++] = {const_cast<uint8_t*>(b), bn};
+    } else {
+      iov[iovcnt++] = {const_cast<uint8_t*>(b) + (off - an), bn - (off - an)};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t w = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;  // error or closed
+  }
+  return true;
+}
+
+/// Writes all `n` bytes to a nonblocking fd, polling for writability.
+/// Returns false on error, peer close, or `stop` becoming true.
+inline bool WriteFull(int fd, const uint8_t* data, size_t n,
+                      const std::atomic<bool>& stop) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;  // error or closed
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes from a nonblocking fd, polling for
+/// readability. Returns false on EOF, error, or `stop` becoming true —
+/// `partial` (if nonnull) reports whether any bytes had been consumed.
+inline bool ReadFull(int fd, uint8_t* data, size_t n,
+                     const std::atomic<bool>& stop,
+                     bool* partial = nullptr) {
+  size_t off = 0;
+  if (partial != nullptr) *partial = false;
+  while (off < n) {
+    ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      if (partial != nullptr) *partial = true;
+      continue;
+    }
+    if (r == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      pollfd p{fd, POLLIN, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace megaphone

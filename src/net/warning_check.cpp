@@ -1,0 +1,14 @@
+// Compiled standalone with -Wall -Wextra -Werror (see CMakeLists.txt) so
+// any new warning introduced in the src/net/ header set fails the build,
+// even though the headers are otherwise only pulled in by test and bench
+// binaries with laxer warning settings.
+#include "net/net.hpp"
+
+namespace megaphone {
+namespace net {
+
+// Anchor so the object file is never empty.
+int NetHeadersWarningCheckAnchor() { return 0; }
+
+}  // namespace net
+}  // namespace megaphone

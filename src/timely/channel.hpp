@@ -23,14 +23,33 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/serde.hpp"
+#include "timely/remote.hpp"
 
 namespace timely {
 
-/// A batch of records sharing one logical timestamp.
+/// A batch of records sharing one logical timestamp. Member serde (valid
+/// whenever D and T are serializable) is the bundle's wire format on the
+/// process mesh: time, then the record vector.
 template <typename D, typename T>
 struct Bundle {
   T time{};
   std::vector<D> data;
+
+  void Serialize(megaphone::Writer& w) const
+    requires(megaphone::Serializable<D> && megaphone::Serializable<T>)
+  {
+    megaphone::Encode(w, time);
+    megaphone::Encode(w, data);
+  }
+  static Bundle Deserialize(megaphone::Reader& r)
+    requires(megaphone::Serializable<D> && megaphone::Serializable<T>)
+  {
+    Bundle b;
+    b.time = megaphone::Decode<T>(r);
+    b.data = megaphone::Decode<std::vector<D>>(r);
+    return b;
+  }
 };
 
 /// A multi-producer channel with one FIFO queue per receiving worker.
@@ -43,6 +62,10 @@ class Channel {
 
   void Push(uint32_t target, Bundle<D, T>&& bundle) {
     MEGA_DCHECK(target < queues_.size());
+    if (net_ != nullptr && !IsLocal(target)) {
+      SendRemote(target, std::move(bundle));
+      return;
+    }
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->q.push_back(std::move(bundle));
   }
@@ -52,6 +75,11 @@ class Channel {
   void PushMany(uint32_t target, std::deque<Bundle<D, T>>& bundles) {
     MEGA_DCHECK(target < queues_.size());
     if (bundles.empty()) return;
+    if (net_ != nullptr && !IsLocal(target)) {
+      for (auto& b : bundles) SendRemote(target, std::move(b));
+      bundles.clear();
+      return;
+    }
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     auto& q = queues_[target]->q;
     if (q.empty()) {
@@ -130,7 +158,56 @@ class Channel {
 
   uint32_t workers() const { return static_cast<uint32_t>(queues_.size()); }
 
+  // --- multi-process extension -----------------------------------------
+  //
+  // With a mesh attached, a push whose target worker lives in another
+  // process serializes the bundle (one encode) and hands the bytes to the
+  // transport; the owning process decodes it (one decode) straight into
+  // the target's ordinary queue via DecodeAndPush. Pushes between
+  // co-located workers are untouched — with no mesh the only cost on the
+  // hot path is one null check.
+
+  /// Attaches the mesh; pushed bundles for non-local workers serialize
+  /// and ship. Called once at channel creation, before any worker steps.
+  void EnableRemote(NetRuntime* net, uint64_t dataflow_id,
+                    uint64_t channel_id) {
+    net_ = net;
+    df_id_ = dataflow_id;
+    chan_id_ = channel_id;
+    local_begin_ = net->process_index() * net->workers_per_process();
+    local_end_ = local_begin_ + net->workers_per_process();
+  }
+
+  /// Decodes one wire bundle and publishes it locally (transport receive
+  /// path). The sender guaranteed `target` is one of our workers.
+  void DecodeAndPush(uint32_t target, megaphone::Reader& r) {
+    if constexpr (megaphone::Serializable<T> && megaphone::Serializable<D>) {
+      Bundle<D, T> bundle = Bundle<D, T>::Deserialize(r);
+      MEGA_CHECK(IsLocal(target)) << "wire bundle routed to a remote worker";
+      std::lock_guard<std::mutex> lock(queues_[target]->mu);
+      queues_[target]->q.push_back(std::move(bundle));
+    } else {
+      MEGA_CHECK(false) << "received wire bundle for a non-serializable type";
+    }
+  }
+
  private:
+  bool IsLocal(uint32_t worker) const {
+    return worker >= local_begin_ && worker < local_end_;
+  }
+
+  void SendRemote(uint32_t target, Bundle<D, T>&& bundle) {
+    if constexpr (megaphone::Serializable<T> && megaphone::Serializable<D>) {
+      megaphone::Writer w;
+      bundle.Serialize(w);
+      net_->SendData(df_id_, chan_id_, target, w.Take());
+    } else {
+      MEGA_CHECK(false)
+          << "bundle type is not serializable; channel cannot cross "
+             "process boundaries";
+    }
+  }
+
   // Enough for every worker to have a few bundles in flight per direction;
   // beyond that, extra capacity is better returned to the allocator.
   static constexpr size_t kMaxPooled = 64;
@@ -144,6 +221,13 @@ class Channel {
     std::vector<std::vector<D>> pool;
   };
   std::vector<std::unique_ptr<Queue>> queues_;
+
+  // Remote extension; null in single-process runs.
+  NetRuntime* net_ = nullptr;
+  uint64_t df_id_ = 0;
+  uint64_t chan_id_ = 0;
+  uint32_t local_begin_ = 0;
+  uint32_t local_end_ = ~uint32_t{0};
 };
 
 /// Process-wide registry mapping (dataflow, channel) ids to shared channel
@@ -151,6 +235,11 @@ class Channel {
 /// channel ids in the same order; the first to ask creates the channel.
 class ChannelRegistry {
  public:
+  /// Attaches the mesh (multi-process runs): channels created afterwards
+  /// ship non-local pushes over it and register their wire decoder with
+  /// the transport. Must be called before any worker builds a dataflow.
+  void SetNet(NetRuntime* net) { net_ = net; }
+
   template <typename C>
   std::shared_ptr<C> GetOrCreate(uint64_t dataflow_id, uint64_t channel_id,
                                  uint32_t workers) {
@@ -163,6 +252,14 @@ class ChannelRegistry {
       return std::static_pointer_cast<C>(it->second.ptr);
     }
     auto ch = std::make_shared<C>(workers);
+    if (net_ != nullptr) {
+      ch->EnableRemote(net_, dataflow_id, channel_id);
+      net_->RegisterDataHandler(
+          dataflow_id, channel_id,
+          [ch](uint32_t target, megaphone::Reader& r) {
+            ch->DecodeAndPush(target, r);
+          });
+    }
     channels_.emplace(key,
                       Entry{std::type_index(typeid(C)), ch});
     return ch;
@@ -175,6 +272,7 @@ class ChannelRegistry {
   };
   std::mutex mu_;
   std::unordered_map<uint64_t, Entry> channels_;
+  NetRuntime* net_ = nullptr;
 };
 
 }  // namespace timely

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <string>
@@ -29,17 +30,38 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/serde.hpp"
 #include "timely/antichain.hpp"
 #include "timely/timestamp.hpp"
 
 namespace timely {
 
-/// A single pointstamp count delta at a graph location.
+/// A single pointstamp count delta at a graph location. Field-wise serde
+/// (rather than the trivially-copyable memcpy fallback) keeps the wire
+/// format free of struct padding, so progress frames are well-defined
+/// bytes across processes.
 template <typename T>
 struct Change {
   uint32_t loc;
   T time;
   int64_t delta;
+
+  void Serialize(megaphone::Writer& w) const
+    requires megaphone::Serializable<T>
+  {
+    megaphone::Encode(w, loc);
+    megaphone::Encode(w, time);
+    megaphone::Encode(w, delta);
+  }
+  static Change Deserialize(megaphone::Reader& r)
+    requires megaphone::Serializable<T>
+  {
+    Change c;
+    c.loc = megaphone::Decode<uint32_t>(r);
+    c.time = megaphone::Decode<T>(r);
+    c.delta = megaphone::Decode<int64_t>(r);
+    return c;
+  }
 };
 
 /// Consolidates a change batch in place: deltas at the same (location,
@@ -228,6 +250,13 @@ class ProgressTracker {
       }
     }
     finalized_ = true;
+    // Remote progress batches that raced ahead of our own finalize were
+    // stashed by ApplyUnbroadcast; merge them now that the graph exists.
+    if (!pre_finalize_remote_.empty()) {
+      std::vector<Change<T>> stashed = std::move(pre_finalize_remote_);
+      pre_finalize_remote_.clear();
+      ApplyLocked(std::span<const Change<T>>(stashed.data(), stashed.size()));
+    }
   }
 
   bool finalized() const {
@@ -235,12 +264,49 @@ class ProgressTracker {
     return finalized_;
   }
 
+  /// Installs the hook that forwards locally originated batches to remote
+  /// tracker replicas. Must be installed before any post-build Apply; the
+  /// runtime wires it when a dataflow's shared state is first created.
+  void SetBroadcast(std::function<void(std::span<const Change<T>>)> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    broadcast_ = std::move(fn);
+  }
+
   /// Applies a batch of count deltas atomically and refreshes affected
-  /// frontiers.
+  /// frontiers. Batches applied through this entry point are *locally
+  /// originated*: in a multi-process run they are also forwarded to every
+  /// remote tracker replica, after the local apply and outside the lock —
+  /// still before the caller can make any corresponding bundle visible,
+  /// which is the cross-process safety order (counts travel ahead of data
+  /// on the same FIFO peer stream).
   void Apply(std::span<const Change<T>> changes) {
     if (changes.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MEGA_CHECK(finalized_);
+      ApplyLocked(changes);
+    }
+    if (broadcast_) broadcast_(changes);
+  }
+
+  /// Applies a batch without forwarding it: remote-originated merges (the
+  /// sender already owns the batch) and the statically replicated initial
+  /// capabilities. Before Finalize the batch is stashed and merged when
+  /// the graph is installed — remote processes may finish building first.
+  void ApplyUnbroadcast(std::span<const Change<T>> changes) {
+    if (changes.empty()) return;
     std::lock_guard<std::mutex> lock(mu_);
-    MEGA_CHECK(finalized_);
+    if (!finalized_) {
+      pre_finalize_remote_.insert(pre_finalize_remote_.end(), changes.begin(),
+                                  changes.end());
+      return;
+    }
+    ApplyLocked(changes);
+  }
+
+ private:
+  /// Count/frontier update; callers hold mu_ and guarantee finalized_.
+  void ApplyLocked(std::span<const Change<T>> changes) {
     dirty_scratch_.clear();
     for (const auto& c : changes) {
       MEGA_CHECK_LT(c.loc, num_locs_);
@@ -283,6 +349,7 @@ class ProgressTracker {
       version_.fetch_add(1, std::memory_order_release);
   }
 
+ public:
   void ApplyOne(uint32_t loc, const T& time, int64_t delta) {
     Change<T> c{loc, time, delta};
     Apply(std::span<const Change<T>>(&c, 1));
@@ -354,6 +421,8 @@ class ProgressTracker {
   uint32_t num_locs_ = 0;
   int64_t nonempty_locs_ = 0;
   std::atomic<uint64_t> version_{0};
+  std::function<void(std::span<const Change<T>>)> broadcast_;  // distributed
+  std::vector<Change<T>> pre_finalize_remote_;  // stashed remote batches
 
   std::vector<MutableAntichain<T>> counts_;   // per location
   std::vector<Antichain<T>> loc_frontier_;    // cached per location

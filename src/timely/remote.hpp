@@ -1,0 +1,70 @@
+// The engine-side interface onto a process mesh.
+//
+// When `timely::Execute` runs W workers split across P processes, the
+// engine needs exactly four things from the transport: ship an encoded
+// data bundle to the process owning a worker, broadcast an encoded
+// progress batch to every other process, and register the decode handlers
+// the receive path invokes for each. This interface keeps `src/timely/`
+// free of socket code; `src/net/` provides the TCP implementation
+// (`megaphone::net::NetMesh`), and single-process runs never construct
+// one (a null NetRuntime* is the "everything is local" fast path).
+//
+// Delivery contract the engine relies on (see DESIGN.md "Process model"):
+//   * frames from one process to another are delivered in FIFO order,
+//   * a handler registered for a (dataflow, channel) or dataflow key also
+//     receives, in order, any frames that arrived before registration,
+//   * handlers run on the transport's receive threads and must be
+//     thread-safe against worker threads (channel queues and the progress
+//     tracker already are).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/serde.hpp"
+
+namespace timely {
+
+class NetRuntime {
+ public:
+  virtual ~NetRuntime() = default;
+
+  virtual uint32_t processes() const = 0;
+  virtual uint32_t process_index() const = 0;
+  /// Workers are split evenly: process p owns global worker indices
+  /// [p * workers_per_process, (p + 1) * workers_per_process).
+  virtual uint32_t workers_per_process() const = 0;
+
+  uint32_t ProcessOfWorker(uint32_t worker) const {
+    return worker / workers_per_process();
+  }
+  bool IsLocalWorker(uint32_t worker) const {
+    return ProcessOfWorker(worker) == process_index();
+  }
+
+  /// Ships one encoded bundle to the process owning `target_worker`.
+  virtual void SendData(uint64_t dataflow_id, uint64_t channel_id,
+                        uint32_t target_worker,
+                        std::vector<uint8_t> payload) = 0;
+
+  /// Ships one encoded progress-change batch to every other process.
+  virtual void BroadcastProgress(uint64_t dataflow_id,
+                                 std::vector<uint8_t> payload) = 0;
+
+  using DataHandler =
+      std::function<void(uint32_t target_worker, megaphone::Reader&)>;
+  using ProgressHandler = std::function<void(megaphone::Reader&)>;
+
+  /// Installs the decoder for data frames of (dataflow, channel); frames
+  /// that arrived earlier are replayed through it first, in order.
+  virtual void RegisterDataHandler(uint64_t dataflow_id, uint64_t channel_id,
+                                   DataHandler handler) = 0;
+
+  /// Installs the decoder for progress frames of a dataflow; frames that
+  /// arrived earlier are replayed through it first, in order.
+  virtual void RegisterProgressHandler(uint64_t dataflow_id,
+                                       ProgressHandler handler) = 0;
+};
+
+}  // namespace timely

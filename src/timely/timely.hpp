@@ -10,6 +10,7 @@
 #include "timely/operators.hpp"      // IWYU pragma: export
 #include "timely/probe.hpp"          // IWYU pragma: export
 #include "timely/progress.hpp"       // IWYU pragma: export
+#include "timely/remote.hpp"         // IWYU pragma: export
 #include "timely/runtime.hpp"        // IWYU pragma: export
 #include "timely/stream.hpp"         // IWYU pragma: export
 #include "timely/timestamp.hpp"      // IWYU pragma: export

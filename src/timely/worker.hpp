@@ -24,6 +24,7 @@
 #include "timely/channel.hpp"
 #include "timely/node.hpp"
 #include "timely/progress.hpp"
+#include "timely/remote.hpp"
 
 namespace timely {
 
@@ -52,11 +53,24 @@ class Barrier {
   uint64_t gen_ = 0;
 };
 
-/// State shared by all workers of one runtime.
+/// State shared by all workers of one runtime — in a multi-process run,
+/// by the workers of *this* process. `workers` is the global worker count
+/// across every process; this process's worker threads carry the global
+/// indices [local_begin, local_begin + local_workers).
 struct RuntimeShared {
-  explicit RuntimeShared(uint32_t w) : workers(w), build_barrier(w) {}
+  explicit RuntimeShared(uint32_t w) : RuntimeShared(w, 0, w, nullptr) {}
+  RuntimeShared(uint32_t total, uint32_t begin, uint32_t local,
+                NetRuntime* n)
+      : workers(total),
+        local_begin(begin),
+        local_workers(local),
+        net(n),
+        build_barrier(local) {}
 
-  uint32_t workers;
+  uint32_t workers;        // global worker count (all processes)
+  uint32_t local_begin;    // first global worker index of this process
+  uint32_t local_workers;  // worker threads in this process
+  NetRuntime* net;         // null in single-process runs
   ChannelRegistry channels;
   Barrier build_barrier;
 
@@ -67,26 +81,61 @@ struct RuntimeShared {
   };
   std::vector<DfEntry> df_shared;
 
+  /// Returns the per-dataflow shared state, creating it on first request.
+  /// `created` (optional) reports whether this call created it — the
+  /// creating worker wires the distributed-progress hooks exactly once.
   template <typename Shared>
-  std::shared_ptr<Shared> GetOrCreateDataflowShared(uint64_t df_id) {
+  std::shared_ptr<Shared> GetOrCreateDataflowShared(uint64_t df_id,
+                                                    bool* created = nullptr) {
     std::lock_guard<std::mutex> lock(df_mu);
     if (df_shared.size() <= df_id) df_shared.resize(df_id + 1);
     auto& entry = df_shared[df_id];
-    if (!entry.ptr) {
+    bool fresh = !entry.ptr;
+    if (fresh) {
       entry.type = std::type_index(typeid(Shared));
       entry.ptr = std::make_shared<Shared>();
     }
     MEGA_CHECK(entry.type == std::type_index(typeid(Shared)))
         << "dataflow timestamp type mismatch between workers";
+    if (created != nullptr) *created = fresh;
     return std::static_pointer_cast<Shared>(entry.ptr);
   }
 };
 
-/// Per-dataflow state shared by all workers (one progress tracker).
+/// Per-dataflow state shared by all workers (one progress tracker — in a
+/// multi-process run, this process's replica of the global counts).
 template <typename T>
 struct DataflowShared {
   ProgressTracker<T> tracker;
 };
+
+/// Connects one dataflow's tracker replica to the mesh: locally
+/// originated batches are encoded and broadcast to every peer process,
+/// and incoming progress frames decode into ApplyUnbroadcast (no echo).
+/// Called exactly once per dataflow, by the worker whose
+/// GetOrCreateDataflowShared call created the shared state — before any
+/// other worker can observe it, and before the creator's own build
+/// applies its first changes.
+template <typename T>
+inline void WireDistributedProgress(
+    NetRuntime* net, uint64_t df_id,
+    const std::shared_ptr<DataflowShared<T>>& shared) {
+  net->RegisterProgressHandler(df_id, [shared](megaphone::Reader& r) {
+    // The wire format is exactly Serde<vector<Change<T>>> (count prefix,
+    // field-wise elements), whose decode bounds-checks the count and
+    // clamps the speculative reserve.
+    auto changes = megaphone::Decode<std::vector<Change<T>>>(r);
+    shared->tracker.ApplyUnbroadcast(
+        std::span<const Change<T>>(changes.data(), changes.size()));
+  });
+  shared->tracker.SetBroadcast(
+      [net, df_id](std::span<const Change<T>> changes) {
+        megaphone::Writer w;
+        megaphone::Encode(w, static_cast<uint64_t>(changes.size()));
+        for (const auto& c : changes) megaphone::Encode(w, c);
+        net->BroadcastProgress(df_id, w.Take());
+      });
+}
 
 class DataflowInstanceBase {
  public:
@@ -245,8 +294,12 @@ class Worker {
   template <typename T, typename BuildFn>
   decltype(auto) Dataflow(BuildFn&& build) {
     uint64_t df_id = next_dataflow_id_++;
-    auto shared =
-        runtime_->GetOrCreateDataflowShared<DataflowShared<T>>(df_id);
+    bool created = false;
+    auto shared = runtime_->GetOrCreateDataflowShared<DataflowShared<T>>(
+        df_id, &created);
+    if (created && runtime_->net != nullptr) {
+      WireDistributedProgress<T>(runtime_->net, df_id, shared);
+    }
     auto inst = std::make_unique<DataflowInstance<T>>(
         df_id, index_, peers(), shared, runtime_.get());
     GraphSpec spec;
@@ -303,9 +356,23 @@ class Worker {
   void FinishBuild(Scope<T>& scope, GraphSpec& spec,
                    DataflowShared<T>& shared) {
     shared.tracker.Finalize(spec);
-    if (!scope.initial_changes().empty()) {
-      shared.tracker.Apply(std::span<const Change<T>>(
-          scope.initial_changes().data(), scope.initial_changes().size()));
+    const auto& init = scope.initial_changes();
+    if (init.empty()) return;
+    // Initial capabilities are statically known (every worker builds the
+    // same dataflow and registers the same changes), so they are never
+    // broadcast: each worker applies its own share locally, and in a
+    // multi-process run the first local worker additionally applies the
+    // remote workers' shares — every process's tracker replica starts
+    // with the full W-worker initial state, with no startup race against
+    // in-flight progress frames.
+    shared.tracker.ApplyUnbroadcast(
+        std::span<const Change<T>>(init.data(), init.size()));
+    uint32_t remote = runtime_->workers - runtime_->local_workers;
+    if (remote > 0 && index_ == runtime_->local_begin) {
+      std::vector<Change<T>> scaled(init.begin(), init.end());
+      for (auto& c : scaled) c.delta *= static_cast<int64_t>(remote);
+      shared.tracker.ApplyUnbroadcast(
+          std::span<const Change<T>>(scaled.data(), scaled.size()));
     }
   }
 

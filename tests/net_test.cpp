@@ -1,0 +1,189 @@
+// Unit tests for the process mesh: frame/handshake round trips, data and
+// progress delivery with per-peer FIFO ordering, buffering of frames that
+// arrive before their handler registers, and clean goodbye shutdown.
+// Two NetMesh instances (process 0 and 1) run inside this one test
+// process, connected over real loopback sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/net.hpp"
+
+namespace megaphone {
+namespace net {
+namespace {
+
+TEST(NetFrame, HeaderRoundTrip) {
+  FrameHeader h;
+  h.kind = static_cast<uint32_t>(FrameKind::kData);
+  h.target = 7;
+  h.key = DataKey(3, 12);
+  h.payload_len = 4096;
+  uint8_t buf[kFrameHeaderBytes];
+  EncodeFrameHeader(buf, h);
+  FrameHeader back = DecodeFrameHeader(buf);
+  EXPECT_EQ(back.kind, h.kind);
+  EXPECT_EQ(back.target, 7u);
+  EXPECT_EQ(back.key, (uint64_t{3} << 32) | 12);
+  EXPECT_EQ(back.payload_len, 4096u);
+}
+
+TEST(NetFrame, HandshakeRoundTrip) {
+  Handshake h;
+  h.process = 5;
+  uint8_t buf[kHandshakeBytes];
+  EncodeHandshake(buf, h);
+  Handshake back = DecodeHandshake(buf);
+  EXPECT_EQ(back.magic, kHandshakeMagic);
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.process, 5u);
+}
+
+TEST(NetFrame, BuildFrameLayout) {
+  std::vector<uint8_t> payload{1, 2, 3};
+  auto frame = BuildFrame(FrameKind::kProgress, 0, 9, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 3);
+  FrameHeader h = DecodeFrameHeader(frame.data());
+  EXPECT_EQ(h.kind, static_cast<uint32_t>(FrameKind::kProgress));
+  EXPECT_EQ(h.key, 9u);
+  EXPECT_EQ(h.payload_len, 3u);
+  EXPECT_EQ(frame[kFrameHeaderBytes + 2], 3u);
+}
+
+// Builds a connected 2-process mesh on kernel-assigned loopback ports.
+// Constructors handshake with each other, so they run concurrently.
+struct MeshPair {
+  std::unique_ptr<NetMesh> m0;
+  std::unique_ptr<NetMesh> m1;
+
+  explicit MeshPair(uint32_t workers_per_process = 2) {
+    int l0 = BindListener("127.0.0.1", 0, 2);
+    int l1 = BindListener("127.0.0.1", 0, 2);
+    std::vector<std::string> addresses = {
+        "127.0.0.1:" + std::to_string(ListenerPort(l0)),
+        "127.0.0.1:" + std::to_string(ListenerPort(l1)),
+    };
+    auto opts = [&](uint32_t index, int fd) {
+      MeshOptions o;
+      o.processes = 2;
+      o.process_index = index;
+      o.workers_per_process = workers_per_process;
+      o.addresses = addresses;
+      o.listen_fd = fd;
+      return o;
+    };
+    std::thread t1([&] { m1 = std::make_unique<NetMesh>(opts(1, l1)); });
+    m0 = std::make_unique<NetMesh>(opts(0, l0));
+    t1.join();
+  }
+
+  void Shutdown() {
+    // Each side's shutdown waits for the peer's goodbye; run both.
+    std::thread t([&] { m1->Shutdown(); });
+    m0->Shutdown();
+    t.join();
+  }
+};
+
+TEST(NetMesh, TopologyAccessors) {
+  MeshPair pair(3);
+  EXPECT_EQ(pair.m0->processes(), 2u);
+  EXPECT_EQ(pair.m0->workers_per_process(), 3u);
+  EXPECT_TRUE(pair.m0->IsLocalWorker(2));
+  EXPECT_FALSE(pair.m0->IsLocalWorker(3));
+  EXPECT_EQ(pair.m1->ProcessOfWorker(5), 1u);
+  EXPECT_TRUE(pair.m1->IsLocalWorker(5));
+  pair.Shutdown();
+}
+
+TEST(NetMesh, DataFramesArriveInOrderWithTargets) {
+  MeshPair pair;
+  std::mutex mu;
+  std::vector<std::pair<uint32_t, uint64_t>> received;  // (target, value)
+
+  pair.m1->RegisterDataHandler(
+      /*dataflow=*/0, /*channel=*/4,
+      [&](uint32_t target, Reader& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        received.emplace_back(target, Decode<uint64_t>(r));
+      });
+
+  for (uint64_t i = 0; i < 100; ++i) {
+    pair.m0->SendData(0, 4, /*target=*/2 + (i % 2), EncodeToBytes(i));
+  }
+  // Delivery is asynchronous; the goodbye exchange in Shutdown flushes
+  // everything first, so after it the full sequence has been dispatched.
+  pair.Shutdown();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(received.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(received[i].first, 2 + (i % 2));
+    EXPECT_EQ(received[i].second, i);
+  }
+}
+
+TEST(NetMesh, FramesBeforeRegistrationAreBufferedAndReplayedInOrder) {
+  MeshPair pair;
+
+  // Send both data and progress before any handler exists on the peer.
+  for (uint64_t i = 0; i < 10; ++i) {
+    pair.m0->SendData(1, 2, /*target=*/3, EncodeToBytes(i));
+    pair.m0->BroadcastProgress(1, EncodeToBytes(uint64_t{100 + i}));
+  }
+  // Block until the peer has definitely received them: round-trip a frame
+  // on a side channel whose handler is already registered.
+  std::atomic<bool> marker{false};
+  pair.m1->RegisterDataHandler(9, 9, [&](uint32_t, Reader&) {
+    marker.store(true);
+  });
+  pair.m0->SendData(9, 9, /*target=*/2, {});
+  while (!marker.load()) std::this_thread::yield();
+
+  std::vector<uint64_t> data_seen;
+  std::vector<uint64_t> progress_seen;
+  pair.m1->RegisterDataHandler(1, 2, [&](uint32_t target, Reader& r) {
+    EXPECT_EQ(target, 3u);
+    data_seen.push_back(Decode<uint64_t>(r));  // replay is synchronous
+  });
+  pair.m1->RegisterProgressHandler(1, [&](Reader& r) {
+    progress_seen.push_back(Decode<uint64_t>(r));
+  });
+
+  ASSERT_EQ(data_seen.size(), 10u);
+  ASSERT_EQ(progress_seen.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(data_seen[i], i);
+    EXPECT_EQ(progress_seen[i], 100 + i);
+  }
+  pair.Shutdown();
+}
+
+TEST(NetMesh, ProgressBroadcastReachesEveryPeerBothWays) {
+  MeshPair pair;
+  std::atomic<uint64_t> at_m0{0};
+  std::atomic<uint64_t> at_m1{0};
+  pair.m0->RegisterProgressHandler(7, [&](Reader& r) {
+    at_m0 += Decode<uint64_t>(r);
+  });
+  pair.m1->RegisterProgressHandler(7, [&](Reader& r) {
+    at_m1 += Decode<uint64_t>(r);
+  });
+  for (uint64_t i = 1; i <= 10; ++i) {
+    pair.m0->BroadcastProgress(7, EncodeToBytes(i));
+    pair.m1->BroadcastProgress(7, EncodeToBytes(i * 100));
+  }
+  pair.Shutdown();
+  EXPECT_EQ(at_m1.load(), 55u);
+  EXPECT_EQ(at_m0.load(), 5500u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace megaphone

@@ -1,0 +1,218 @@
+// Property tests for the wire serde: random values of every type that
+// crosses a process boundary survive encode/decode unchanged, and every
+// malformed buffer — any strict prefix of a valid encoding, and length
+// prefixes pointing past the end — fails with a clean SerdeError instead
+// of an out-of-bounds read or a multi-gigabyte allocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+#include "megaphone/bin.hpp"
+#include "megaphone/control.hpp"
+#include "timely/channel.hpp"
+#include "timely/progress.hpp"
+
+namespace megaphone {
+namespace {
+
+using timely::Bundle;
+using timely::Change;
+
+// --- random generators ----------------------------------------------------
+
+std::vector<uint64_t> RandomU64s(Xoshiro256& rng, size_t max_len) {
+  std::vector<uint64_t> v(rng.NextBelow(max_len + 1));
+  for (auto& x : v) x = rng.Next();
+  return v;
+}
+
+std::string RandomString(Xoshiro256& rng, size_t max_len) {
+  std::string s(rng.NextBelow(max_len + 1), '\0');
+  for (auto& c : s) c = static_cast<char>(rng.NextBelow(256));
+  return s;
+}
+
+Bundle<uint64_t, uint64_t> RandomBundle(Xoshiro256& rng) {
+  Bundle<uint64_t, uint64_t> b;
+  b.time = rng.Next();
+  b.data = RandomU64s(rng, 64);
+  return b;
+}
+
+std::vector<ControlInst> RandomControlBatch(Xoshiro256& rng) {
+  std::vector<ControlInst> batch(rng.NextBelow(32));
+  for (auto& c : batch) {
+    c.bin = static_cast<BinId>(rng.NextBelow(1 << 12));
+    c.worker = static_cast<uint32_t>(rng.NextBelow(64));
+  }
+  return batch;
+}
+
+std::vector<Change<uint64_t>> RandomChangeBatch(Xoshiro256& rng) {
+  std::vector<Change<uint64_t>> batch(rng.NextBelow(32));
+  for (auto& c : batch) {
+    c.loc = static_cast<uint32_t>(rng.NextBelow(256));
+    c.time = rng.Next();
+    c.delta = static_cast<int64_t>(rng.Next()) >> 32;  // signed
+  }
+  return batch;
+}
+
+using WireBinaryBin =
+    BinaryBin<std::unordered_map<uint64_t, uint64_t>, uint64_t,
+              std::pair<uint64_t, std::string>, uint64_t>;
+
+WireBinaryBin RandomBinaryBin(Xoshiro256& rng) {
+  WireBinaryBin bin;
+  for (size_t i = rng.NextBelow(32); i > 0; --i) {
+    bin.state[rng.Next()] = rng.Next();
+  }
+  for (size_t i = rng.NextBelow(4); i > 0; --i) {
+    bin.pending1[rng.Next()] = RandomU64s(rng, 8);
+  }
+  for (size_t i = rng.NextBelow(4); i > 0; --i) {
+    auto& slot = bin.pending2[rng.Next()];
+    for (size_t j = rng.NextBelow(4); j > 0; --j) {
+      slot.emplace_back(rng.Next(), RandomString(rng, 12));
+    }
+  }
+  return bin;
+}
+
+// --- comparators (BinaryBin has no operator==) ----------------------------
+
+template <typename T>
+void ExpectEqual(const T& a, const T& b) {
+  EXPECT_EQ(a, b);
+}
+
+void ExpectEqual(const Bundle<uint64_t, uint64_t>& a,
+                 const Bundle<uint64_t, uint64_t>& b) {
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.data, b.data);
+}
+
+void ExpectEqual(const Change<uint64_t>& a, const Change<uint64_t>& b) {
+  EXPECT_EQ(a.loc, b.loc);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.delta, b.delta);
+}
+
+void ExpectEqual(const std::vector<Change<uint64_t>>& a,
+                 const std::vector<Change<uint64_t>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ExpectEqual(a[i], b[i]);
+}
+
+void ExpectEqual(const WireBinaryBin& a, const WireBinaryBin& b) {
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.pending1, b.pending1);
+  EXPECT_EQ(a.pending2, b.pending2);
+}
+
+void ExpectEqual(const BinMigration& a, const BinMigration& b) {
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.bin, b.bin);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+// The shared property: round-trips exactly, and every strict prefix of
+// the encoding throws SerdeError (a truncated frame can never decode).
+template <typename T>
+void CheckRoundTripAndTruncation(const T& value, bool check_all_prefixes) {
+  std::vector<uint8_t> bytes = EncodeToBytes(value);
+  ExpectEqual(DecodeFromBytes<T>(bytes), value);
+  size_t step = check_all_prefixes ? 1 : std::max<size_t>(1, bytes.size() / 7);
+  for (size_t cut = 0; cut < bytes.size(); cut += step) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(DecodeFromBytes<T>(truncated), SerdeError)
+        << "prefix of " << cut << "/" << bytes.size()
+        << " bytes decoded without error";
+  }
+}
+
+TEST(SerdeFuzz, BundleRoundTripAndTruncation) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    CheckRoundTripAndTruncation(RandomBundle(rng), i < 50);
+  }
+}
+
+TEST(SerdeFuzz, ControlBatchRoundTripAndTruncation) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    CheckRoundTripAndTruncation(RandomControlBatch(rng), i < 50);
+  }
+}
+
+TEST(SerdeFuzz, ProgressChangeBatchRoundTripAndTruncation) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    CheckRoundTripAndTruncation(RandomChangeBatch(rng), i < 50);
+  }
+}
+
+TEST(SerdeFuzz, BinaryBinRoundTripAndTruncation) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 60; ++i) {
+    CheckRoundTripAndTruncation(RandomBinaryBin(rng), i < 10);
+  }
+}
+
+TEST(SerdeFuzz, BinMigrationRoundTripAndTruncation) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    BinMigration m;
+    m.target = static_cast<uint32_t>(rng.NextBelow(64));
+    m.bin = static_cast<BinId>(rng.NextBelow(1 << 12));
+    auto payload = RandomU64s(rng, 32);
+    m.bytes = EncodeToBytes(payload);
+    CheckRoundTripAndTruncation(m, i < 25);
+  }
+}
+
+// A corrupted length prefix must not drive a giant allocation: the decode
+// throws before reserving anything close to the claimed size.
+TEST(SerdeFuzz, HugeLengthPrefixFailsCleanly) {
+  Writer w;
+  Encode<uint64_t>(w, ~uint64_t{0});  // vector length 2^64-1
+  auto bytes = w.Take();
+  EXPECT_THROW(DecodeFromBytes<std::vector<uint64_t>>(bytes), SerdeError);
+  EXPECT_THROW(DecodeFromBytes<std::string>(bytes), SerdeError);
+  EXPECT_THROW((DecodeFromBytes<std::map<uint64_t, uint64_t>>(bytes)),
+               SerdeError);
+  EXPECT_THROW(
+      (DecodeFromBytes<std::unordered_map<uint64_t, uint64_t>>(bytes)),
+      SerdeError);
+}
+
+// Random corruption of a length byte inside a valid encoding either still
+// decodes (the mutated length happened to stay consistent) or fails with
+// SerdeError — never UB, never abort.
+TEST(SerdeFuzz, RandomLengthCorruptionNeverCrashes) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 300; ++i) {
+    auto bin = RandomBinaryBin(rng);
+    auto bytes = EncodeToBytes(bin);
+    if (bytes.empty()) continue;
+    size_t pos = rng.NextBelow(bytes.size());
+    bytes[pos] = static_cast<uint8_t>(rng.Next());
+    try {
+      auto decoded = DecodeFromBytes<WireBinaryBin>(bytes);
+      (void)decoded;  // consistent mutation; fine
+    } catch (const SerdeError&) {
+      // clean failure; fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace megaphone

@@ -1,0 +1,166 @@
+// Property tests for the migration strategies (paper §3.3, §4.4): for
+// random reconfigurations, every strategy's batch sequence covers every
+// move exactly once, kOptimized batches never repeat a source or
+// destination worker, and an empty diff yields zero batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "megaphone/strategies.hpp"
+
+namespace megaphone {
+namespace {
+
+constexpr MigrationStrategy kAllStrategies[] = {
+    MigrationStrategy::kAllAtOnce,
+    MigrationStrategy::kFluid,
+    MigrationStrategy::kBatched,
+    MigrationStrategy::kOptimized,
+};
+
+Assignment RandomAssignment(Xoshiro256& rng, uint32_t num_bins,
+                            uint32_t workers) {
+  Assignment a(num_bins);
+  for (auto& w : a) w = static_cast<uint32_t>(rng.NextBelow(workers));
+  return a;
+}
+
+// Canonical form for "covers every move exactly once": moves are unique
+// per bin, so sorting by bin suffices.
+std::vector<ControlInst> SortedByBin(std::vector<ControlInst> moves) {
+  std::sort(moves.begin(), moves.end(),
+            [](const ControlInst& a, const ControlInst& b) {
+              return a.bin < b.bin;
+            });
+  return moves;
+}
+
+std::vector<ControlInst> Flatten(
+    const std::deque<std::vector<ControlInst>>& batches) {
+  std::vector<ControlInst> flat;
+  for (const auto& b : batches) {
+    flat.insert(flat.end(), b.begin(), b.end());
+  }
+  return flat;
+}
+
+TEST(StrategiesProperty, EveryMoveExactlyOnce) {
+  Xoshiro256 rng(21);
+  for (int round = 0; round < 50; ++round) {
+    uint32_t workers = 2 + static_cast<uint32_t>(rng.NextBelow(7));
+    uint32_t num_bins = 1u << (2 + rng.NextBelow(7));  // 4..512
+    Assignment from = RandomAssignment(rng, num_bins, workers);
+    Assignment to = RandomAssignment(rng, num_bins, workers);
+    auto moves = DiffAssignments(from, to);
+    size_t batch_size = 1 + rng.NextBelow(32);
+
+    for (MigrationStrategy s : kAllStrategies) {
+      auto batches = PlanBatches(s, moves, from, batch_size);
+      EXPECT_EQ(SortedByBin(Flatten(batches)), SortedByBin(moves))
+          << StrategyName(s) << " bins=" << num_bins << " W=" << workers;
+      // No strategy emits a batch with nothing in it.
+      for (const auto& b : batches) {
+        EXPECT_FALSE(b.empty()) << StrategyName(s);
+      }
+    }
+  }
+}
+
+TEST(StrategiesProperty, EmptyDiffYieldsZeroBatches) {
+  Xoshiro256 rng(22);
+  for (int round = 0; round < 10; ++round) {
+    uint32_t workers = 2 + static_cast<uint32_t>(rng.NextBelow(7));
+    uint32_t num_bins = 1u << (2 + rng.NextBelow(7));
+    Assignment from = RandomAssignment(rng, num_bins, workers);
+    auto moves = DiffAssignments(from, from);
+    EXPECT_TRUE(moves.empty());
+    for (MigrationStrategy s : kAllStrategies) {
+      EXPECT_TRUE(PlanBatches(s, moves, from, 8).empty()) << StrategyName(s);
+    }
+  }
+}
+
+TEST(StrategiesProperty, BatchSizesMatchStrategy) {
+  Xoshiro256 rng(23);
+  for (int round = 0; round < 20; ++round) {
+    uint32_t workers = 2 + static_cast<uint32_t>(rng.NextBelow(7));
+    uint32_t num_bins = 1u << (3 + rng.NextBelow(6));
+    Assignment from = RandomAssignment(rng, num_bins, workers);
+    Assignment to = RandomAssignment(rng, num_bins, workers);
+    auto moves = DiffAssignments(from, to);
+    if (moves.empty()) continue;
+    size_t batch_size = 1 + rng.NextBelow(16);
+
+    auto all = PlanBatches(MigrationStrategy::kAllAtOnce, moves, from, 0);
+    EXPECT_EQ(all.size(), 1u);
+
+    auto fluid = PlanBatches(MigrationStrategy::kFluid, moves, from, 0);
+    EXPECT_EQ(fluid.size(), moves.size());
+    for (const auto& b : fluid) EXPECT_EQ(b.size(), 1u);
+
+    auto batched =
+        PlanBatches(MigrationStrategy::kBatched, moves, from, batch_size);
+    EXPECT_EQ(batched.size(),
+              (moves.size() + batch_size - 1) / batch_size);
+    for (size_t i = 0; i < batched.size(); ++i) {
+      if (i + 1 < batched.size()) {
+        EXPECT_EQ(batched[i].size(), batch_size);
+      } else {
+        EXPECT_LE(batched[i].size(), batch_size);
+      }
+    }
+  }
+}
+
+// kOptimized invariant (§4.4): within one batch no worker appears twice
+// as a source or twice as a destination — sources computed against the
+// assignment as it stands when the batch is issued.
+TEST(StrategiesProperty, OptimizedBatchesNeverRepeatSourceOrDestination) {
+  Xoshiro256 rng(24);
+  for (int round = 0; round < 50; ++round) {
+    uint32_t workers = 2 + static_cast<uint32_t>(rng.NextBelow(15));
+    uint32_t num_bins = 1u << (2 + rng.NextBelow(8));
+    Assignment from = RandomAssignment(rng, num_bins, workers);
+    Assignment to = RandomAssignment(rng, num_bins, workers);
+    auto moves = DiffAssignments(from, to);
+
+    auto batches = PlanBatches(MigrationStrategy::kOptimized, moves, from, 0);
+    Assignment current = from;
+    for (const auto& batch : batches) {
+      std::set<uint32_t> sources;
+      std::set<uint32_t> destinations;
+      for (const auto& m : batch) {
+        uint32_t src = current[m.bin];
+        EXPECT_TRUE(sources.insert(src).second)
+            << "batch repeats source worker " << src;
+        EXPECT_TRUE(destinations.insert(m.worker).second)
+            << "batch repeats destination worker " << m.worker;
+      }
+      for (const auto& m : batch) current[m.bin] = m.worker;
+    }
+    EXPECT_EQ(current, to);
+  }
+}
+
+// The paper's evaluation reconfiguration keeps its defining shape.
+TEST(StrategiesProperty, ImbalancedAssignmentMovesQuarterOfBins) {
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    uint32_t num_bins = 256;
+    auto from = MakeInitialAssignment(num_bins, workers);
+    auto to = MakeImbalancedAssignment(num_bins, workers);
+    auto moves = DiffAssignments(from, to);
+    EXPECT_EQ(moves.size(), num_bins / 4);  // 25% of state moves
+    for (const auto& m : moves) {
+      EXPECT_LT(from[m.bin], workers / 2);          // from lower half
+      EXPECT_EQ(m.worker, from[m.bin] + workers / 2);  // to its counterpart
+    }
+  }
+}
+
+}  // namespace
+}  // namespace megaphone
