@@ -1,73 +1,9 @@
 // Figure 1: service latency during migration — all-at-once (prior work)
-// vs Megaphone's fluid and optimized strategies, on the key-count workload.
-//
-// The paper migrates one billion keys (8 GB) on a 4-machine cluster; the
-// default here is scaled to run on one machine in seconds (override with
-// --domain/--rate/--duration_ms). The expected *shape* is unchanged:
-// all-at-once produces a latency spike orders of magnitude above steady
-// state and proportional to the state moved, while fluid and optimized
-// migrations bound the spike at per-bin granularity.
-#include <cstdio>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// vs Megaphone's fluid and optimized strategies, on the key-count
+// workload. Thin stub over the unified driver; megabench --fig=1 is the
+// same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
-  base.domain = flags.GetInt("domain", 1 << 23);
-  base.rate = flags.GetDouble("rate", 400'000);
-  base.duration_ms = flags.GetInt("duration_ms", 6000);
-  base.mode = CountMode::kKeyCount;
-  base.batch_size = flags.GetInt("batch_size", 64);
-  const uint64_t migrate_at = flags.GetInt("migrate_at_ms", 2000);
-
-  std::printf(
-      "# Figure 1: migration latency timelines, key-count, domain=%llu "
-      "rate=%.0f workers=%u bins=%u\n",
-      static_cast<unsigned long long>(base.domain), base.rate, base.workers,
-      base.num_bins);
-
-  struct Variant {
-    const char* label;
-    MigrationStrategy strategy;
-  };
-  const Variant variants[] = {
-      {"all-at-once", MigrationStrategy::kAllAtOnce},
-      {"fluid", MigrationStrategy::kFluid},
-      {"optimized", MigrationStrategy::kOptimized},
-  };
-
-  double max_ms[3] = {0, 0, 0};
-  double steady_p99[3] = {0, 0, 0};
-  int i = 0;
-  for (const auto& v : variants) {
-    CountBenchConfig cfg = base;
-    cfg.strategy = v.strategy;
-    cfg.migrations.push_back(
-        {migrate_at, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
-    auto result = RunCountBench(cfg);
-    PrintTimeline(v.label, result.timeline);
-    if (!result.migrations.empty()) {
-      max_ms[i] = result.migrations[0].max_ms;
-      PrintMigrationSummary(v.label, cfg.num_bins, "bins", result.migrations);
-    }
-    steady_p99[i] =
-        static_cast<double>(result.steady.Quantile(0.99)) * 1e-6;
-    std::printf("# %s: steady p99 = %.3f ms\n\n", v.label, steady_p99[i]);
-    i++;
-  }
-
-  std::printf("# summary (max latency during migration, ms)\n");
-  std::printf("%-14s %12.3f\n", "all-at-once", max_ms[0]);
-  std::printf("%-14s %12.3f\n", "fluid", max_ms[1]);
-  std::printf("%-14s %12.3f\n", "optimized", max_ms[2]);
-  if (max_ms[1] > 0) {
-    std::printf("# all-at-once / fluid max-latency ratio: %.1fx\n",
-                max_ms[0] / max_ms[1]);
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 1);
 }

@@ -1,7 +1,8 @@
-// Figure 5: NEXMark Q1 latency timeline with two reconfigurations. Q1 is
-// stateless, so no latency spike should occur during migration.
-#include "harness/nexmark_workload.hpp"
+// Figure 5: NEXMark Q1 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=5 (--query=1) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(1, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 5);
 }

@@ -1,7 +1,8 @@
-// Figure 7: NEXMark Q3 (incremental join, unbounded state) — all-at-once
-// vs Megaphone batched migration, plus the native implementation panel.
-#include "harness/nexmark_workload.hpp"
+// Figure 7: NEXMark Q3 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=7 (--query=3) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(3, /*with_native=*/true, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 7);
 }

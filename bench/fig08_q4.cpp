@@ -1,7 +1,8 @@
-// Figure 8: NEXMark Q4 (closing-price averages; bounded state held by the
-// fixed number of in-flight auctions) — all-at-once vs batched migration.
-#include "harness/nexmark_workload.hpp"
+// Figure 8: NEXMark Q4 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=8 (--query=4) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(4, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 8);
 }

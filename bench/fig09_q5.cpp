@@ -1,7 +1,8 @@
-// Figure 9: NEXMark Q5 (hot items, sliding window with dilated time) —
-// all-at-once vs batched migration.
-#include "harness/nexmark_workload.hpp"
+// Figure 9: NEXMark Q5 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=9 (--query=5) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(5, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 9);
 }

@@ -1,7 +1,8 @@
-// Figure 10: NEXMark Q6 (per-seller closing-price averages; state grows
-// with the set of sellers) — all-at-once vs batched migration.
-#include "harness/nexmark_workload.hpp"
+// Figure 10: NEXMark Q6 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=10 (--query=6) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(6, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 10);
 }

@@ -1,7 +1,8 @@
-// Figure 11: NEXMark Q7 (windowed global maximum; minimal state) — with
-// so little state, all-at-once and batched migration are indistinguishable.
-#include "harness/nexmark_workload.hpp"
+// Figure 11: NEXMark Q7 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=11 (--query=7) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(7, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 11);
 }

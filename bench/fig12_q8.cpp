@@ -1,8 +1,8 @@
-// Figure 12: NEXMark Q8 (tumbling-window person⋈seller join; the window is
-// dilated, standing in for the paper's twelve-hour window) — all-at-once
-// vs batched migration.
-#include "harness/nexmark_workload.hpp"
+// Figure 12: NEXMark Q8 latency timeline with two reconfigurations.
+// Thin stub over the unified driver; megabench --fig=12 (--query=8) is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  return megaphone::NexmarkFigureMain(8, /*with_native=*/false, argc, argv);
+  return megaphone::BenchDriverMain(argc, argv, 12);
 }

@@ -1,52 +1,7 @@
-// Figure 14: steady-state overhead for the key-count (dense array)
-// workload — per-record latency CCDF and percentile table per bin count,
-// against the native implementation. Paper domain: 256e6 keys; scaled.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 14: thin stub over the unified driver; megabench --fig=14 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.domain = flags.GetInt("domain", 1 << 20);
-  base.rate = flags.GetDouble("rate", 100'000);
-  base.duration_ms = flags.GetInt("duration_ms", 2000);
-  base.mode = CountMode::kKeyCount;
-
-  std::vector<uint32_t> log_bins = {4, 8, 12, 16, 18};
-  if (flags.GetBool("full", false)) log_bins = {4, 6, 8, 10, 12, 14, 16, 18, 20};
-
-  std::printf("# Figure 14: key-count overhead, domain=%llu rate=%.0f\n",
-              static_cast<unsigned long long>(base.domain), base.rate);
-  struct Row {
-    std::string name;
-    Histogram hist;
-  };
-  std::vector<Row> rows;
-  for (uint32_t lb : log_bins) {
-    CountBenchConfig cfg = base;
-    cfg.num_bins = 1u << lb;
-    if (cfg.num_bins > cfg.domain) continue;
-    auto r = RunCountBench(cfg);
-    rows.push_back(Row{std::to_string(lb), std::move(r.per_record)});
-  }
-  {
-    CountBenchConfig cfg = base;
-    cfg.mode = CountMode::kNativeKey;
-    auto r = RunCountBench(cfg);
-    rows.push_back(Row{"Native", std::move(r.per_record)});
-  }
-
-  PrintPercentileHeader();
-  for (auto& row : rows) PrintPercentileRow(row.name, row.hist);
-  std::printf("\n");
-  if (flags.GetBool("ccdf", true)) {
-    for (auto& row : rows) PrintCcdf(row.name.c_str(), row.hist);
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 14);
 }

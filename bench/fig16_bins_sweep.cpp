@@ -1,49 +1,7 @@
-// Figure 16: migration max-latency vs duration as the number of bins
-// varies, for a fixed key domain. Expected shape: more bins lower the
-// maximum latency of fluid and batched migration without increasing the
-// duration; all-at-once is unaffected by granularity.
-//
-// --gap N ablates the drain gap between batches (§4.4).
-#include <cstdio>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 16: thin stub over the unified driver; megabench --fig=16 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.domain = flags.GetInt("domain", 1 << 22);
-  base.rate = flags.GetDouble("rate", 150'000);
-  base.duration_ms = flags.GetInt("duration_ms", 4000);
-  base.mode = CountMode::kKeyCount;
-  base.gap_ms = flags.GetInt("gap", 0);
-  const uint64_t migrate_at = flags.GetInt("migrate_at_ms", 700);
-
-  std::vector<uint32_t> bins = {16, 256, 4096};
-  if (flags.GetBool("full", false)) bins = {16, 64, 256, 1024, 4096, 16384};
-
-  std::printf("# Figure 16: latency vs duration, varying bins; domain=%llu "
-              "rate=%.0f gap=%llums\n",
-              static_cast<unsigned long long>(base.domain), base.rate,
-              static_cast<unsigned long long>(base.gap_ms));
-
-  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
-                                          MigrationStrategy::kFluid,
-                                          MigrationStrategy::kBatched};
-  for (auto strat : strategies) {
-    for (uint32_t nb : bins) {
-      CountBenchConfig cfg = base;
-      cfg.num_bins = nb;
-      cfg.strategy = strat;
-      cfg.batch_size = nb / 16 == 0 ? 1 : nb / 16;
-      cfg.migrations.push_back(
-          {migrate_at, MakeImbalancedAssignment(nb, cfg.workers)});
-      auto r = RunCountBench(cfg);
-      PrintMigrationSummary(StrategyName(strat), nb, "bins", r.migrations);
-    }
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 16);
 }

@@ -1,48 +1,7 @@
-// Figure 17: migration max-latency vs duration as the key domain grows,
-// for a fixed bin count. Expected shape: all strategies' durations grow
-// with the state size; all-at-once max latency grows proportionally, fluid
-// lowest latency / highest duration, batched in between.
-#include <cstdio>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 17: thin stub over the unified driver; megabench --fig=17 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
-  base.rate = flags.GetDouble("rate", 150'000);
-  base.duration_ms = flags.GetInt("duration_ms", 4000);
-  base.mode = CountMode::kKeyCount;
-  base.batch_size = flags.GetInt("batch_size", 64);
-  const uint64_t migrate_at = flags.GetInt("migrate_at_ms", 700);
-
-  std::vector<uint64_t> domains = {1 << 20, 1 << 22, 1 << 24};
-  if (flags.GetBool("full", false)) {
-    domains = {1 << 20, 1 << 21, 1 << 22, 1 << 23, 1 << 24, 1 << 25};
-  }
-
-  std::printf("# Figure 17: latency vs duration, varying domain; bins=%u "
-              "rate=%.0f\n",
-              base.num_bins, base.rate);
-
-  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
-                                          MigrationStrategy::kFluid,
-                                          MigrationStrategy::kBatched};
-  for (auto strat : strategies) {
-    for (uint64_t domain : domains) {
-      CountBenchConfig cfg = base;
-      cfg.domain = domain;
-      cfg.strategy = strat;
-      cfg.migrations.push_back(
-          {migrate_at, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
-      auto r = RunCountBench(cfg);
-      PrintMigrationSummary(StrategyName(strat), domain, "domain",
-                            r.migrations);
-    }
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 17);
 }

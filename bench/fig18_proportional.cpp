@@ -1,46 +1,7 @@
-// Figure 18: keys and bins grow proportionally (fixed state per bin).
-// Expected shape: fluid and batched max latencies stay flat (the migration
-// granularity is constant) while every strategy's duration grows;
-// all-at-once max latency keeps growing with total state.
-#include <cstdio>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 18: thin stub over the unified driver; megabench --fig=18 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.rate = flags.GetDouble("rate", 150'000);
-  base.duration_ms = flags.GetInt("duration_ms", 4000);
-  base.mode = CountMode::kKeyCount;
-  const uint64_t keys_per_bin = flags.GetInt("keys_per_bin", 1 << 12);
-  const uint64_t migrate_at = flags.GetInt("migrate_at_ms", 700);
-
-  std::vector<uint32_t> bins = {256, 1024, 4096};
-  if (flags.GetBool("full", false)) bins = {64, 256, 1024, 4096, 8192};
-
-  std::printf("# Figure 18: fixed state per bin (%llu keys/bin), growing "
-              "domain; rate=%.0f\n",
-              static_cast<unsigned long long>(keys_per_bin), base.rate);
-
-  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
-                                          MigrationStrategy::kFluid,
-                                          MigrationStrategy::kBatched};
-  for (auto strat : strategies) {
-    for (uint32_t nb : bins) {
-      CountBenchConfig cfg = base;
-      cfg.num_bins = nb;
-      cfg.domain = keys_per_bin * nb;
-      cfg.strategy = strat;
-      cfg.batch_size = 16;
-      cfg.migrations.push_back(
-          {migrate_at, MakeImbalancedAssignment(nb, cfg.workers)});
-      auto r = RunCountBench(cfg);
-      PrintMigrationSummary(StrategyName(strat), nb, "bins", r.migrations);
-    }
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 18);
 }

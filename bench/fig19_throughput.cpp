@@ -1,60 +1,7 @@
-// Figure 19: offered load vs maximum latency for the four configurations
-// (non-migrating, all-at-once, batched, fluid). Expected shape: latency is
-// throughput-invariant until the system saturates; fluid and batched
-// sustain latency targets 10-100x below all-at-once at the same load.
-#include <cstdio>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 19: thin stub over the unified driver; megabench --fig=19 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
-  base.domain = flags.GetInt("domain", 1 << 22);
-  base.duration_ms = flags.GetInt("duration_ms", 2500);
-  base.mode = CountMode::kKeyCount;
-  base.batch_size = 64;
-  const uint64_t migrate_at = flags.GetInt("migrate_at_ms", 700);
-
-  std::vector<double> rates = {50'000, 100'000, 200'000, 400'000};
-  if (flags.GetBool("full", false)) {
-    rates = {25'000, 50'000, 100'000, 200'000, 400'000, 800'000, 1'600'000};
-  }
-
-  std::printf("# Figure 19: offered load vs max latency; domain=%llu bins=%u\n",
-              static_cast<unsigned long long>(base.domain), base.num_bins);
-  std::printf("%12s %14s %14s\n", "strategy", "rate_per_s", "max_latency_s");
-
-  struct V {
-    const char* label;
-    bool migrate;
-    MigrationStrategy strategy;
-  };
-  const V variants[] = {
-      {"non-migrating", false, MigrationStrategy::kAllAtOnce},
-      {"all-at-once", true, MigrationStrategy::kAllAtOnce},
-      {"batched", true, MigrationStrategy::kBatched},
-      {"fluid", true, MigrationStrategy::kFluid},
-  };
-  for (const auto& v : variants) {
-    for (double rate : rates) {
-      CountBenchConfig cfg = base;
-      cfg.rate = rate;
-      cfg.strategy = v.strategy;
-      if (v.migrate) {
-        cfg.migrations.push_back(
-            {migrate_at,
-             MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
-      }
-      auto r = RunCountBench(cfg);
-      double max_s = static_cast<double>(r.timeline.MaxIn(
-                         0, ~uint64_t{0})) * 1e-9;
-      std::printf("%12s %14.0f %14.4f\n", v.label, rate, max_s);
-    }
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 19);
 }

@@ -1,58 +1,7 @@
-// Figure 20: resident set size over time per migration strategy.
-// Expected shape: all-at-once serializes every migrating bin at once and
-// queues the bytes behind the (throttled) state channel, producing a
-// memory spike at each migration; fluid and batched migrate one step at a
-// time — a built-in form of flow control — and stay flat.
-#include <cstdio>
-#include <vector>
-
-#include "harness/harness.hpp"
-
-using namespace megaphone;
+// Figure 20: thin stub over the unified driver; megabench --fig=20 is
+// the same bench (and adds --processes for distributed runs).
+#include "harness/bench_driver.hpp"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  CountBenchConfig base;
-  base.workers = static_cast<uint32_t>(flags.GetInt("workers", 4));
-  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
-  base.domain = flags.GetInt("domain", 1 << 24);
-  base.rate = flags.GetDouble("rate", 100'000);
-  base.duration_ms = flags.GetInt("duration_ms", 4000);
-  base.mode = CountMode::kKeyCount;
-  base.sample_rss = true;
-  base.batch_size = 64;
-  // Model the network bottleneck: serialized state leaves the sender at a
-  // bounded rate, as in the paper's cluster (see DESIGN.md).
-  base.state_bytes_per_sec = flags.GetInt("state_bw", 64ull << 20);
-
-  std::printf("# Figure 20: RSS over time; domain=%llu (~%llu MB state), "
-              "state_bw=%llu MB/s\n",
-              static_cast<unsigned long long>(base.domain),
-              static_cast<unsigned long long>(base.domain * 8 >> 20),
-              static_cast<unsigned long long>(base.state_bytes_per_sec >> 20));
-
-  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
-                                          MigrationStrategy::kBatched,
-                                          MigrationStrategy::kFluid};
-  for (auto strat : strategies) {
-    CountBenchConfig cfg = base;
-    cfg.strategy = strat;
-    cfg.migrations.push_back(
-        {1000, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
-    cfg.migrations.push_back(
-        {2500, MakeInitialAssignment(cfg.num_bins, cfg.workers)});
-    auto r = RunCountBench(cfg);
-    std::printf("# rss %s\n%10s %14s\n", StrategyName(strat), "time_s",
-                "rss_mb");
-    uint64_t peak = 0, baseline = 0;
-    for (auto& [t, rss] : r.rss_samples) {
-      std::printf("%10.2f %14.1f\n", t, static_cast<double>(rss) / 1048576.0);
-      peak = std::max(peak, rss);
-      if (baseline == 0) baseline = rss;
-    }
-    std::printf("# %s: baseline=%.1f MB peak=%.1f MB spike=%.1f MB\n\n",
-                StrategyName(strat), baseline / 1048576.0, peak / 1048576.0,
-                (peak - baseline) / 1048576.0);
-  }
-  return 0;
+  return megaphone::BenchDriverMain(argc, argv, 20);
 }

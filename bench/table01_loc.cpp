@@ -1,69 +1,8 @@
 // Table 1: lines of code of the NEXMark query implementations, native vs
-// Megaphone. Counted from the marked regions in queries_native.hpp and
-// queries_megaphone.hpp (non-blank lines, excluding the marker comments).
-// As in the paper, the shared closed-auction sub-plan of Q4/Q6 is counted
-// into both queries.
-#include <cstdio>
-#include <fstream>
-#include <string>
+// Megaphone. Thin stub over the unified driver; megabench --fig=21 is
+// the same table.
+#include "harness/bench_driver.hpp"
 
-#ifndef MEGA_SOURCE_DIR
-#define MEGA_SOURCE_DIR "."
-#endif
-
-namespace {
-
-int CountRegion(const std::string& path, const std::string& begin,
-                const std::string& end) {
-  std::ifstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return -1;
-  }
-  std::string line;
-  bool in_region = false;
-  int count = 0;
-  while (std::getline(f, line)) {
-    if (line.find(begin) != std::string::npos) {
-      in_region = true;
-      continue;
-    }
-    if (line.find(end) != std::string::npos) in_region = false;
-    if (!in_region) continue;
-    // Count non-blank lines.
-    if (line.find_first_not_of(" \t") != std::string::npos) count++;
-  }
-  return count;
-}
-
-}  // namespace
-
-int main() {
-  const std::string dir = std::string(MEGA_SOURCE_DIR) + "/src/nexmark/";
-  const std::string native = dir + "queries_native.hpp";
-  const std::string mega = dir + "queries_megaphone.hpp";
-
-  int shared_native = CountRegion(native, "[ClosedAuctions-native-begin]",
-                                  "[ClosedAuctions-native-end]");
-  int shared_mega = CountRegion(mega, "[ClosedAuctions-mega-begin]",
-                                "[ClosedAuctions-mega-end]");
-
-  std::printf("# Table 1: NEXMark query implementations, lines of code\n");
-  std::printf("# (Q4/Q6 include the shared closed-auctions sub-plan, as in "
-              "the paper)\n");
-  std::printf("%8s %8s %10s\n", "query", "native", "megaphone");
-  for (int q = 1; q <= 8; ++q) {
-    std::string nb = "[Q" + std::to_string(q) + "-native-begin]";
-    std::string ne = "[Q" + std::to_string(q) + "-native-end]";
-    std::string mb = "[Q" + std::to_string(q) + "-mega-begin]";
-    std::string me = "[Q" + std::to_string(q) + "-mega-end]";
-    int n = CountRegion(native, nb, ne);
-    int m = CountRegion(mega, mb, me);
-    if (q == 4 || q == 6) {
-      n += shared_native;
-      m += shared_mega;
-    }
-    std::printf("%8s %8d %10d\n", ("Q" + std::to_string(q)).c_str(), n, m);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return megaphone::BenchDriverMain(argc, argv, megaphone::kFigTable1);
 }

@@ -47,6 +47,7 @@ class SerdeError : public std::runtime_error {
 class Writer {
  public:
   void WriteBytes(const void* data, size_t n) {
+    if (n == 0) return;  // data may be null (e.g. an empty vector's data())
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -67,6 +68,7 @@ class Reader {
 
   void ReadBytes(void* out, size_t n) {
     if (n > size_ - pos_) throw SerdeError("serde: read past end of buffer");
+    if (n == 0) return;  // out may be null (e.g. an empty vector's data())
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }

@@ -1,0 +1,853 @@
+// The unified figure-bench driver behind `megabench` and every fig*
+// binary: one flag surface (--fig/--query/--strategy/--workers/
+// --processes/--records/--out), one distributed launch path, one merged
+// JSON report schema.
+//
+// Every figure of the paper's evaluation runs through here. With
+// --processes=P the driver forks a fresh P-process group per variant run
+// (fresh kernel-assigned ports, fresh TCP mesh), each process measures
+// its own latency shard, and the shards merge on process 0 — so the
+// numbers include the serialization and wire costs the paper is about.
+// Manual mode (--process-index, for multi-terminal or multi-machine
+// runs) skips the fork: every process must be started with identical
+// flags and runs the same variant sequence in lockstep.
+//
+// Reports: the classic text tables print to stdout (same format as the
+// original fig binaries), and one merged JSON report is written to
+// --out (default megabench_figN.json). Schema, per variant: label,
+// strategy, steady percentiles, achieved rate, latency timeline rows,
+// per-migration {start_sec, end_sec, duration_sec, max_latency_ms,
+// batches}, and max_latency_during_migration_ms; overhead figures carry
+// per-record percentiles + CCDF instead of timelines.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/count_workload.hpp"
+#include "harness/launcher.hpp"
+#include "harness/nexmark_workload.hpp"
+#include "harness/report.hpp"
+#include "harness/steady_workload.hpp"
+
+namespace megaphone {
+
+/// Figure id used for Table 1 (NEXMark LOC comparison).
+constexpr int kFigTable1 = 21;
+
+// ---------------------------------------------------------------- procs
+
+/// Process topology for bench runs, parsed from the common flags. Owns
+/// the launch policy: fork-per-run (fresh ports and mesh each time) or
+/// manual lockstep.
+class BenchProcs {
+ public:
+  explicit BenchProcs(const Flags& flags, uint32_t default_workers = 4)
+      : processes_(static_cast<uint32_t>(flags.GetInt("processes", 1))),
+        workers_(static_cast<uint32_t>(
+            flags.GetInt("workers", default_workers))),
+        manual_(flags.Has("process-index")) {
+    MEGA_CHECK_GE(processes_, 1u);
+    if (manual_) {
+      manual_cfg_ = SetupProcessesFromFlags(flags, default_workers).config;
+    }
+  }
+
+  uint32_t processes() const { return processes_; }
+  uint32_t workers_per_process() const { return workers_; }
+  uint32_t total_workers() const { return processes_ * workers_; }
+  /// True when this process owns the report (fork mode: always — forked
+  /// children never return; manual mode: process 0 only).
+  bool IsRoot() const { return !manual_ || manual_cfg_.process_index == 0; }
+
+  CountBenchResult RunCount(const CountBenchConfig& cfg) {
+    MEGA_CHECK_EQ(cfg.workers, total_workers());
+    if (manual_) return RunCountBench(cfg, manual_cfg_);
+    if (processes_ <= 1) return RunCountBench(cfg);
+    return RunForked(processes_, workers_, [&](const timely::Config& tc) {
+      return RunCountBench(cfg, tc);
+    });
+  }
+
+  NexmarkBenchResult RunNexmark(const NexmarkBenchConfig& cfg) {
+    MEGA_CHECK_EQ(cfg.workers, total_workers());
+    if (manual_) return RunNexmarkBench(cfg, manual_cfg_);
+    if (processes_ <= 1) return RunNexmarkBench(cfg);
+    return RunForked(processes_, workers_, [&](const timely::Config& tc) {
+      return RunNexmarkBench(cfg, tc);
+    });
+  }
+
+ private:
+  uint32_t processes_;
+  uint32_t workers_;
+  bool manual_;
+  timely::Config manual_cfg_;
+};
+
+namespace benchjson {
+
+inline void Timeline_(JsonWriter& j, const Timeline& tl) {
+  j.Key("timeline").BeginArray();
+  for (const auto& r : tl.Rows()) {
+    j.BeginObject();
+    j.Key("t_sec").Value(r.t_sec);
+    j.Key("max_ms").Value(r.max_ms);
+    j.Key("p99_ms").Value(r.p99_ms);
+    j.Key("p50_ms").Value(r.p50_ms);
+    j.Key("p25_ms").Value(r.p25_ms);
+    j.Key("samples").Value(r.samples);
+    j.EndObject();
+  }
+  j.EndArray();
+}
+
+inline void HistSummary(JsonWriter& j, const char* key, const Histogram& h) {
+  j.Key(key).BeginObject();
+  j.Key("p50_ms").Value(static_cast<double>(h.Quantile(0.50)) * 1e-6);
+  j.Key("p90_ms").Value(static_cast<double>(h.Quantile(0.90)) * 1e-6);
+  j.Key("p99_ms").Value(static_cast<double>(h.Quantile(0.99)) * 1e-6);
+  j.Key("p9999_ms").Value(static_cast<double>(h.Quantile(0.9999)) * 1e-6);
+  j.Key("max_ms").Value(static_cast<double>(h.max()) * 1e-6);
+  j.Key("samples").Value(h.total());
+  j.EndObject();
+}
+
+inline void Ccdf_(JsonWriter& j, const Histogram& h) {
+  j.Key("ccdf").BeginArray();
+  for (const auto& [ns, frac] : h.Ccdf()) {
+    j.BeginArray();
+    j.Value(static_cast<double>(ns) * 1e-6);
+    j.Value(frac);
+    j.EndArray();
+  }
+  j.EndArray();
+}
+
+/// Migration windows plus the headline number: the maximum latency
+/// observed (across every process) during any migration window.
+inline void Migrations(JsonWriter& j,
+                       const std::vector<MigrationStats>& migs) {
+  double overall = 0;
+  j.Key("migrations").BeginArray();
+  for (const auto& m : migs) {
+    j.BeginObject();
+    j.Key("start_sec").Value(m.start_sec);
+    j.Key("end_sec").Value(m.end_sec);
+    j.Key("duration_sec").Value(m.duration_sec());
+    j.Key("max_latency_ms").Value(m.max_ms);
+    j.Key("batches").Value(static_cast<uint64_t>(m.batches));
+    j.EndObject();
+    overall = std::max(overall, m.max_ms);
+  }
+  j.EndArray();
+  j.Key("max_latency_during_migration_ms").Value(overall);
+}
+
+}  // namespace benchjson
+
+// ---------------------------------------------------------------- flags
+
+/// Resolves the run length: --records (total injected records at --rate)
+/// wins over --duration_ms; floor of 250 ms so the timeline has at least
+/// one bucket.
+inline uint64_t DurationMsFromFlags(const Flags& flags, double rate,
+                                    uint64_t dflt_ms) {
+  if (flags.Has("records")) {
+    uint64_t records = flags.GetInt("records", 0);
+    uint64_t ms = static_cast<uint64_t>(
+        static_cast<double>(records) * 1000.0 / rate);
+    return std::max<uint64_t>(ms, 250);
+  }
+  return flags.GetInt("duration_ms", dflt_ms);
+}
+
+/// --strategy=LABEL filters the variant set; "all" (default) keeps every
+/// variant. Matches the variant label or the StrategyName.
+inline bool VariantEnabled(const Flags& flags, const char* label,
+                           MigrationStrategy strategy) {
+  std::string want = flags.GetStr("strategy", "all");
+  return want == "all" || want == label || want == StrategyName(strategy);
+}
+
+/// The native (non-Megaphone) panel has no migration strategy; it runs
+/// only when unfiltered or explicitly requested.
+inline bool NativeEnabled(const Flags& flags) {
+  std::string want = flags.GetStr("strategy", "all");
+  return want == "all" || want == "native";
+}
+
+// -------------------------------------------------- count timeline figs
+
+/// Figure 1: migration latency timelines on the key-count workload,
+/// all-at-once vs fluid vs optimized.
+inline void RunFig01(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
+  base.domain = flags.GetInt("domain", 1 << 23);
+  base.rate = flags.GetDouble("rate", 400'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 6000);
+  base.mode = CountMode::kKeyCount;
+  base.batch_size = flags.GetInt("batch_size", 64);
+  const uint64_t migrate_at =
+      flags.GetInt("migrate_at_ms", base.duration_ms / 3);
+
+  std::printf(
+      "# Figure 1: migration latency timelines, key-count, domain=%llu "
+      "rate=%.0f workers=%u bins=%u processes=%u\n",
+      static_cast<unsigned long long>(base.domain), base.rate, base.workers,
+      base.num_bins, procs.processes());
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("bins").Value(static_cast<uint64_t>(base.num_bins));
+  j.Key("migrate_at_ms").Value(migrate_at);
+  j.EndObject();
+
+  struct Variant {
+    const char* label;
+    MigrationStrategy strategy;
+  };
+  const Variant variants[] = {
+      {"all-at-once", MigrationStrategy::kAllAtOnce},
+      {"fluid", MigrationStrategy::kFluid},
+      {"optimized", MigrationStrategy::kOptimized},
+  };
+
+  std::vector<std::pair<const char*, double>> max_ms;
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    if (!VariantEnabled(flags, v.label, v.strategy)) continue;
+    CountBenchConfig cfg = base;
+    cfg.strategy = v.strategy;
+    cfg.migrations.push_back(
+        {migrate_at, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+    auto r = procs.RunCount(cfg);
+    if (!r.root) continue;
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, cfg.num_bins, "bins", r.migrations);
+    std::printf("# %s: steady p99 = %.3f ms\n\n", v.label,
+                static_cast<double>(r.steady.Quantile(0.99)) * 1e-6);
+    double m = 0;
+    for (const auto& ms : r.migrations) m = std::max(m, ms.max_ms);
+    max_ms.emplace_back(v.label, m);
+
+    j.BeginObject();
+    j.Key("label").Value(v.label);
+    j.Key("strategy").Value(StrategyName(v.strategy));
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    j.Key("records_sent").Value(r.records_sent);
+    j.Key("achieved_rate_per_s")
+        .Value(r.duration_sec > 0
+                   ? static_cast<double>(r.records_sent) / r.duration_sec
+                   : 0.0);
+    benchjson::HistSummary(j, "steady", r.steady);
+    benchjson::Migrations(j, r.migrations);
+    benchjson::Timeline_(j, r.timeline);
+    j.EndObject();
+  }
+  j.EndArray();
+
+  std::printf("# summary (max latency during migration, ms)\n");
+  for (const auto& [label, m] : max_ms) {
+    std::printf("%-14s %12.3f\n", label, m);
+  }
+}
+
+// -------------------------------------------------------- nexmark figs
+
+/// Figures 5-12: NEXMark query latency timelines with two
+/// reconfigurations — all-at-once vs Megaphone-batched (+ a native panel
+/// for Fig. 7 / Q3).
+inline void RunNexmarkFig(BenchProcs& procs, const Flags& flags, int q,
+                          bool with_native, JsonWriter& j) {
+  NexmarkBenchConfig base;
+  base.query = q;
+  base.workers = procs.total_workers();
+  base.rate = flags.GetDouble("rate", 50'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 5000);
+  base.qcfg.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 256));
+  base.batch_size = flags.GetInt("batch_size", 16);
+  base.gcfg.auction_duration_ms = flags.GetInt("auction_ms", 1000);
+  base.qcfg.q5_slide_ms = flags.GetInt("q5_slide_ms", 250);
+  base.qcfg.q5_slices = flags.GetInt("q5_slices", 8);
+  base.qcfg.q7_window_ms = flags.GetInt("q7_window_ms", 1000);
+  base.qcfg.q8_window_ms = flags.GetInt("q8_window_ms", 2000);
+  const uint64_t mig1 =
+      flags.GetInt("migrate_at_ms", base.duration_ms * 2 / 5);
+  const uint64_t mig2 =
+      flags.GetInt("migrate2_at_ms", base.duration_ms * 7 / 10);
+
+  std::printf(
+      "# NEXMark Q%d: rate=%.0f events/s, workers=%u, bins=%u, "
+      "processes=%u, migrations at %llu ms and %llu ms\n",
+      q, base.rate, base.workers, base.qcfg.num_bins, procs.processes(),
+      static_cast<unsigned long long>(mig1),
+      static_cast<unsigned long long>(mig2));
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("nexmark");
+  j.Key("query").Value(q);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("bins").Value(static_cast<uint64_t>(base.qcfg.num_bins));
+  j.Key("migrate_at_ms").Value(mig1);
+  j.Key("migrate2_at_ms").Value(mig2);
+  j.EndObject();
+
+  auto imbalanced =
+      MakeImbalancedAssignment(base.qcfg.num_bins, base.workers);
+  auto balanced = MakeInitialAssignment(base.qcfg.num_bins, base.workers);
+
+  struct Variant {
+    const char* label;
+    MigrationStrategy strategy;
+  };
+  const Variant variants[] = {
+      {"all-at-once", MigrationStrategy::kAllAtOnce},
+      {"megaphone-batched", MigrationStrategy::kBatched},
+  };
+
+  std::vector<std::pair<const char*, double>> max_ms;
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    if (!VariantEnabled(flags, v.label, v.strategy)) continue;
+    NexmarkBenchConfig run = base;
+    run.strategy = v.strategy;
+    run.migrations = {{mig1, imbalanced}, {mig2, balanced}};
+    auto r = procs.RunNexmark(run);
+    if (!r.root) continue;
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, base.qcfg.num_bins, "bins",
+                          r.migrations);
+    std::printf("# %s: outputs=%llu steady p99=%.3f ms\n\n", v.label,
+                static_cast<unsigned long long>(r.outputs),
+                static_cast<double>(r.steady.Quantile(0.99)) * 1e-6);
+    double m = 0;
+    for (const auto& ms : r.migrations) m = std::max(m, ms.max_ms);
+    max_ms.emplace_back(v.label, m);
+
+    j.BeginObject();
+    j.Key("label").Value(v.label);
+    j.Key("strategy").Value(StrategyName(v.strategy));
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    j.Key("events_sent").Value(r.events_sent);
+    j.Key("outputs").Value(r.outputs);
+    benchjson::HistSummary(j, "steady", r.steady);
+    benchjson::Migrations(j, r.migrations);
+    benchjson::Timeline_(j, r.timeline);
+    j.EndObject();
+  }
+  if (with_native && NativeEnabled(flags)) {
+    NexmarkBenchConfig run = base;
+    run.use_megaphone = false;
+    auto r = procs.RunNexmark(run);
+    if (r.root) {
+      PrintTimeline("native", r.timeline);
+      std::printf("# native: outputs=%llu steady p99=%.3f ms\n\n",
+                  static_cast<unsigned long long>(r.outputs),
+                  static_cast<double>(r.steady.Quantile(0.99)) * 1e-6);
+      j.BeginObject();
+      j.Key("label").Value("native");
+      j.Key("strategy").Value("none");
+      j.Key("processes_reporting").Value(
+          static_cast<uint64_t>(r.shards.size()));
+      j.Key("events_sent").Value(r.events_sent);
+      j.Key("outputs").Value(r.outputs);
+      benchjson::HistSummary(j, "steady", r.steady);
+      benchjson::Timeline_(j, r.timeline);
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+
+  if (max_ms.size() >= 2) {
+    std::printf("# summary Q%d: max latency during migration: "
+                "%s=%.3f ms, %s=%.3f ms\n",
+                q, max_ms[0].first, max_ms[0].second, max_ms[1].first,
+                max_ms[1].second);
+  }
+}
+
+// ------------------------------------------------------- overhead figs
+
+/// Figures 13-15: steady-state overhead of the Megaphone interface —
+/// per-record latency CCDF and percentile table per bin count, against
+/// the native implementation. No migration occurs.
+inline void RunOverheadFig(BenchProcs& procs, const Flags& flags, int fig,
+                           JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.domain = flags.GetInt("domain", fig == 15 ? 1 << 23 : 1 << 20);
+  base.rate = flags.GetDouble("rate", 100'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 2000);
+  base.mode = fig == 13 ? CountMode::kHashCount : CountMode::kKeyCount;
+  const CountMode native_mode =
+      fig == 13 ? CountMode::kNativeHash : CountMode::kNativeKey;
+
+  std::vector<uint32_t> log_bins = fig == 15
+                                       ? std::vector<uint32_t>{4, 8, 12, 16, 20}
+                                       : std::vector<uint32_t>{4, 8, 12, 16, 18};
+  if (flags.GetBool("full", false)) {
+    log_bins = {4, 6, 8, 10, 12, 14, 16, 18, 20};
+  }
+
+  std::printf("# Figure %d: %s overhead, domain=%llu rate=%.0f\n", fig,
+              CountModeName(base.mode),
+              static_cast<unsigned long long>(base.domain), base.rate);
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value(CountModeName(base.mode));
+  j.Key("domain").Value(base.domain);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.EndObject();
+
+  struct Row {
+    std::string name;
+    Histogram hist;
+  };
+  std::vector<Row> rows;
+  j.Key("variants").BeginArray();
+  auto add_row = [&](const std::string& name, uint64_t bins,
+                     const CountBenchResult& r) {
+    j.BeginObject();
+    j.Key("label").Value(name);
+    if (bins > 0) j.Key("bins").Value(bins);
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    benchjson::HistSummary(j, "per_record", r.per_record);
+    benchjson::Ccdf_(j, r.per_record);
+    j.EndObject();
+    rows.push_back(Row{name, r.per_record});
+  };
+  for (uint32_t lb : log_bins) {
+    CountBenchConfig cfg = base;
+    cfg.num_bins = 1u << lb;
+    if (cfg.num_bins > cfg.domain) continue;
+    auto r = procs.RunCount(cfg);
+    if (r.root) add_row(std::to_string(lb), cfg.num_bins, r);
+  }
+  if (NativeEnabled(flags)) {
+    CountBenchConfig cfg = base;
+    cfg.mode = native_mode;
+    auto r = procs.RunCount(cfg);
+    if (r.root) add_row("Native", 0, r);
+  }
+  j.EndArray();
+
+  PrintPercentileHeader();
+  for (const auto& row : rows) PrintPercentileRow(row.name, row.hist);
+  std::printf("\n");
+  if (flags.GetBool("ccdf", fig != 15)) {
+    for (const auto& row : rows) PrintCcdf(row.name.c_str(), row.hist);
+  }
+}
+
+// ---------------------------------------------------------- sweep figs
+
+/// Figures 16-18: migration max-latency vs duration sweeps (bins, key
+/// domain, and proportional growth).
+inline void RunSweepFig(BenchProcs& procs, const Flags& flags, int fig,
+                        JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.rate = flags.GetDouble("rate", 150'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
+  base.mode = CountMode::kKeyCount;
+  base.gap_ms = flags.GetInt("gap", 0);
+  const uint64_t migrate_at =
+      flags.GetInt("migrate_at_ms", base.duration_ms / 5);
+  const uint64_t keys_per_bin = flags.GetInt("keys_per_bin", 1 << 12);
+
+  const char* sweep_name =
+      fig == 16 ? "bins" : (fig == 17 ? "domain" : "bins-proportional");
+  std::printf("# Figure %d: latency vs duration sweep over %s, rate=%.0f\n",
+              fig, sweep_name, base.rate);
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("sweep").Value(sweep_name);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("migrate_at_ms").Value(migrate_at);
+  j.EndObject();
+
+  std::vector<uint64_t> params;
+  if (fig == 16) {
+    params = {16, 256, 4096};
+    if (flags.GetBool("full", false)) params = {16, 64, 256, 1024, 4096, 16384};
+  } else if (fig == 17) {
+    params = {1 << 20, 1 << 22, 1 << 24};
+    if (flags.GetBool("full", false)) {
+      params = {1 << 20, 1 << 21, 1 << 22, 1 << 23, 1 << 24, 1 << 25};
+    }
+  } else {
+    params = {256, 1024, 4096};
+    if (flags.GetBool("full", false)) params = {64, 256, 1024, 4096, 8192};
+  }
+
+  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
+                                          MigrationStrategy::kFluid,
+                                          MigrationStrategy::kBatched};
+  j.Key("variants").BeginArray();
+  for (auto strat : strategies) {
+    if (!VariantEnabled(flags, StrategyName(strat), strat)) continue;
+    for (uint64_t p : params) {
+      CountBenchConfig cfg = base;
+      cfg.strategy = strat;
+      if (fig == 16) {
+        cfg.num_bins = static_cast<uint32_t>(p);
+        cfg.domain = flags.GetInt("domain", 1 << 22);
+        cfg.batch_size = p / 16 == 0 ? 1 : p / 16;
+      } else if (fig == 17) {
+        cfg.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
+        cfg.domain = p;
+        cfg.batch_size = flags.GetInt("batch_size", 64);
+      } else {
+        cfg.num_bins = static_cast<uint32_t>(p);
+        cfg.domain = keys_per_bin * p;
+        cfg.batch_size = 16;
+      }
+      cfg.migrations.push_back(
+          {migrate_at,
+           MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+      auto r = procs.RunCount(cfg);
+      if (!r.root) continue;
+      PrintMigrationSummary(StrategyName(strat), p,
+                            fig == 17 ? "domain" : "bins", r.migrations);
+      j.BeginObject();
+      j.Key("label").Value(StrategyName(strat));
+      j.Key("strategy").Value(StrategyName(strat));
+      j.Key(fig == 17 ? "domain" : "bins").Value(p);
+      j.Key("processes_reporting").Value(
+          static_cast<uint64_t>(r.shards.size()));
+      benchjson::Migrations(j, r.migrations);
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+}
+
+// ------------------------------------------------------- fig 19 and 20
+
+/// Figure 19: offered load vs maximum latency for the four
+/// configurations (non-migrating, all-at-once, batched, fluid).
+inline void RunFig19(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
+  base.domain = flags.GetInt("domain", 1 << 22);
+  base.duration_ms = flags.GetInt("duration_ms", 2500);
+  base.mode = CountMode::kKeyCount;
+  base.batch_size = 64;
+
+  std::vector<double> rates = {50'000, 100'000, 200'000, 400'000};
+  if (flags.GetBool("full", false)) {
+    rates = {25'000, 50'000, 100'000, 200'000, 400'000, 800'000, 1'600'000};
+  }
+
+  std::printf("# Figure 19: offered load vs max latency; domain=%llu bins=%u\n",
+              static_cast<unsigned long long>(base.domain), base.num_bins);
+  std::printf("%12s %14s %14s\n", "strategy", "rate_per_s", "max_latency_s");
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("bins").Value(static_cast<uint64_t>(base.num_bins));
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.EndObject();
+
+  struct V {
+    const char* label;
+    bool migrate;
+    MigrationStrategy strategy;
+  };
+  const V variants[] = {
+      {"non-migrating", false, MigrationStrategy::kAllAtOnce},
+      {"all-at-once", true, MigrationStrategy::kAllAtOnce},
+      {"batched", true, MigrationStrategy::kBatched},
+      {"fluid", true, MigrationStrategy::kFluid},
+  };
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    if (!VariantEnabled(flags, v.label, v.strategy)) continue;
+    for (double rate : rates) {
+      CountBenchConfig cfg = base;
+      cfg.rate = rate;
+      // --records bounds each row's run by its own rate; the migration
+      // point scales with the row's duration.
+      cfg.duration_ms = DurationMsFromFlags(flags, rate, base.duration_ms);
+      if (v.migrate) {
+        cfg.migrations.push_back(
+            {flags.GetInt("migrate_at_ms", cfg.duration_ms / 4),
+             MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+      }
+      cfg.strategy = v.strategy;
+      auto r = procs.RunCount(cfg);
+      if (!r.root) continue;
+      double max_s =
+          static_cast<double>(r.timeline.MaxIn(0, ~uint64_t{0})) * 1e-9;
+      std::printf("%12s %14.0f %14.4f\n", v.label, rate, max_s);
+      j.BeginObject();
+      j.Key("label").Value(v.label);
+      j.Key("rate").Value(rate);
+      j.Key("max_latency_s").Value(max_s);
+      j.Key("processes_reporting").Value(
+          static_cast<uint64_t>(r.shards.size()));
+      j.EndObject();
+    }
+  }
+  j.EndArray();
+}
+
+/// Figure 20: resident set size over time per migration strategy (RSS is
+/// sampled in process 0).
+inline void RunFig20(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 1024));
+  base.domain = flags.GetInt("domain", 1 << 24);
+  base.rate = flags.GetDouble("rate", 100'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
+  base.mode = CountMode::kKeyCount;
+  base.sample_rss = true;
+  base.batch_size = 64;
+  base.state_bytes_per_sec = flags.GetInt("state_bw", 64ull << 20);
+
+  std::printf("# Figure 20: RSS over time; domain=%llu (~%llu MB state), "
+              "state_bw=%llu MB/s\n",
+              static_cast<unsigned long long>(base.domain),
+              static_cast<unsigned long long>(base.domain * 8 >> 20),
+              static_cast<unsigned long long>(base.state_bytes_per_sec >> 20));
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("state_bytes_per_sec").Value(base.state_bytes_per_sec);
+  j.EndObject();
+
+  const MigrationStrategy strategies[] = {MigrationStrategy::kAllAtOnce,
+                                          MigrationStrategy::kBatched,
+                                          MigrationStrategy::kFluid};
+  j.Key("variants").BeginArray();
+  for (auto strat : strategies) {
+    if (!VariantEnabled(flags, StrategyName(strat), strat)) continue;
+    CountBenchConfig cfg = base;
+    cfg.strategy = strat;
+    cfg.migrations.push_back(
+        {cfg.duration_ms / 4,
+         MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+    cfg.migrations.push_back(
+        {cfg.duration_ms * 5 / 8,
+         MakeInitialAssignment(cfg.num_bins, cfg.workers)});
+    auto r = procs.RunCount(cfg);
+    if (!r.root) continue;
+    std::printf("# rss %s\n%10s %14s\n", StrategyName(strat), "time_s",
+                "rss_mb");
+    uint64_t peak = 0, baseline = 0;
+    j.BeginObject();
+    j.Key("label").Value(StrategyName(strat));
+    j.Key("rss").BeginArray();
+    for (const auto& [t, rss] : r.rss_samples) {
+      std::printf("%10.2f %14.1f\n", t, static_cast<double>(rss) / 1048576.0);
+      peak = std::max(peak, rss);
+      if (baseline == 0) baseline = rss;
+      j.BeginArray();
+      j.Value(t);
+      j.Value(rss);
+      j.EndArray();
+    }
+    j.EndArray();
+    j.Key("baseline_mb").Value(baseline / 1048576.0);
+    j.Key("peak_mb").Value(peak / 1048576.0);
+    j.Key("spike_mb").Value((peak - baseline) / 1048576.0);
+    benchjson::Migrations(j, r.migrations);
+    j.EndObject();
+    std::printf("# %s: baseline=%.1f MB peak=%.1f MB spike=%.1f MB\n\n",
+                StrategyName(strat), baseline / 1048576.0, peak / 1048576.0,
+                (peak - baseline) / 1048576.0);
+  }
+  j.EndArray();
+}
+
+// -------------------------------------------------------------- table 1
+
+#ifndef MEGA_SOURCE_DIR
+#define MEGA_SOURCE_DIR "."
+#endif
+
+namespace detail {
+
+/// Non-blank lines between the `begin` and `end` markers of `path`.
+inline int CountLocRegion(const std::string& path, const std::string& begin,
+                          const std::string& end) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return -1;
+  }
+  std::string line;
+  bool in_region = false;
+  int count = 0;
+  while (std::getline(f, line)) {
+    if (line.find(begin) != std::string::npos) {
+      in_region = true;
+      continue;
+    }
+    if (line.find(end) != std::string::npos) in_region = false;
+    if (!in_region) continue;
+    if (line.find_first_not_of(" \t") != std::string::npos) count++;
+  }
+  return count;
+}
+
+}  // namespace detail
+
+/// Table 1: lines of code of the NEXMark query implementations, native
+/// vs Megaphone, counted from the marked regions of the query headers.
+inline void RunTable01(const Flags& flags, JsonWriter& j) {
+  const std::string dir =
+      flags.GetStr("source_dir", MEGA_SOURCE_DIR) + "/src/nexmark/";
+  const std::string native = dir + "queries_native.hpp";
+  const std::string mega = dir + "queries_megaphone.hpp";
+
+  int shared_native = detail::CountLocRegion(
+      native, "[ClosedAuctions-native-begin]", "[ClosedAuctions-native-end]");
+  int shared_mega = detail::CountLocRegion(
+      mega, "[ClosedAuctions-mega-begin]", "[ClosedAuctions-mega-end]");
+
+  std::printf("# Table 1: NEXMark query implementations, lines of code\n");
+  std::printf("# (Q4/Q6 include the shared closed-auctions sub-plan, as in "
+              "the paper)\n");
+  std::printf("%8s %8s %10s\n", "query", "native", "megaphone");
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("loc");
+  j.EndObject();
+  j.Key("variants").BeginArray();
+  for (int q = 1; q <= 8; ++q) {
+    std::string qs = std::to_string(q);
+    int n = detail::CountLocRegion(native, "[Q" + qs + "-native-begin]",
+                                   "[Q" + qs + "-native-end]");
+    int m = detail::CountLocRegion(mega, "[Q" + qs + "-mega-begin]",
+                                   "[Q" + qs + "-mega-end]");
+    if (q == 4 || q == 6) {
+      n += shared_native;
+      m += shared_mega;
+    }
+    std::printf("%8s %8d %10d\n", ("Q" + qs).c_str(), n, m);
+    j.BeginObject();
+    j.Key("label").Value("Q" + qs);
+    j.Key("native_loc").Value(static_cast<int64_t>(n));
+    j.Key("megaphone_loc").Value(static_cast<int64_t>(m));
+    j.EndObject();
+  }
+  j.EndArray();
+}
+
+// ----------------------------------------------------------------- main
+
+inline void BenchDriverUsage() {
+  std::fprintf(
+      stderr,
+      "megabench: unified paper-figure bench driver\n"
+      "  --fig=N           figure to run (1, 5-20; 21 = Table 1)\n"
+      "  --query=N         NEXMark query 1-8 (same as --fig=N+4)\n"
+      "  --steady          closed-loop steady-throughput suite\n"
+      "  --strategy=S      only run variant S (default: all)\n"
+      "  --workers=W       worker threads per process (default 4)\n"
+      "  --processes=P     processes; P>1 forks a TCP mesh per run\n"
+      "  --records=N       total records (overrides --duration_ms)\n"
+      "  --rate=R          records/second offered load\n"
+      "  --out=PATH        merged JSON report path\n"
+      "                    (default megabench_figN.json)\n"
+      "  --process-index=I manual multi-process mode (no fork); every\n"
+      "                    process must run identical flags\n");
+}
+
+/// Shared main() body for megabench and the fig* stub binaries;
+/// `forced_fig` pins the figure (stubs), -1 reads --fig/--query.
+inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    BenchDriverUsage();
+    return 0;
+  }
+  if (forced_fig < 0 && flags.GetBool("steady", false)) {
+    return RunSteadySuite(flags);
+  }
+
+  int fig = forced_fig > 0 ? forced_fig
+                           : static_cast<int>(flags.GetInt("fig", 0));
+  if (fig == 0 && flags.Has("query")) {
+    fig = static_cast<int>(flags.GetInt("query", 3)) + 4;
+  }
+  const bool known = fig == 1 || (fig >= 5 && fig <= 20) || fig == kFigTable1;
+  if (!known) {
+    BenchDriverUsage();
+    return 2;
+  }
+
+  BenchProcs procs(flags);
+
+  JsonWriter j;
+  j.BeginObject();
+  j.Key("bench").Value(fig == kFigTable1
+                           ? std::string("table01")
+                           : "fig" + std::string(fig < 10 ? "0" : "") +
+                                 std::to_string(fig));
+  j.Key("fig").Value(static_cast<int64_t>(fig));
+  j.Key("processes").Value(static_cast<uint64_t>(procs.processes()));
+  j.Key("workers_per_process")
+      .Value(static_cast<uint64_t>(procs.workers_per_process()));
+  j.Key("total_workers").Value(static_cast<uint64_t>(procs.total_workers()));
+
+  if (fig == 1) {
+    RunFig01(procs, flags, j);
+  } else if (fig >= 5 && fig <= 12) {
+    RunNexmarkFig(procs, flags, fig - 4, /*with_native=*/fig == 7, j);
+  } else if (fig >= 13 && fig <= 15) {
+    RunOverheadFig(procs, flags, fig, j);
+  } else if (fig >= 16 && fig <= 18) {
+    RunSweepFig(procs, flags, fig, j);
+  } else if (fig == 19) {
+    RunFig19(procs, flags, j);
+  } else if (fig == 20) {
+    RunFig20(procs, flags, j);
+  } else {
+    RunTable01(flags, j);
+  }
+  j.EndObject();
+
+  if (!procs.IsRoot()) return 0;  // manual-mode peers: workers only
+
+  std::string out = flags.GetStr(
+      "out", fig == kFigTable1
+                 ? std::string("megabench_table01.json")
+                 : "megabench_fig" + std::to_string(fig) + ".json");
+  if (out != "none") {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --out=%s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", j.Str().c_str());
+    std::fclose(f);
+    std::printf("# report written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace megaphone

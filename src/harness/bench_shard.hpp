@@ -1,0 +1,161 @@
+// Per-process bench report shards for distributed runs.
+//
+// In a multi-process bench each process observes its own latency record:
+// the local root worker measures epoch completions against the process's
+// tracker replica (so network delay is part of the measurement, exactly
+// what the paper's cluster runs see). At shutdown every process encodes
+// its observations into a BenchShard and ships it over the dataflow to
+// global worker 0 — the wire serde path below — where the shards merge
+// into the single report the figure benches print.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/serde.hpp"
+#include "harness/histogram.hpp"
+#include "timely/timely.hpp"
+
+namespace megaphone {
+
+/// Summary of one migration observed by a bench driver: its window, the
+/// maximum latency inside it, and the number of completed batches.
+struct MigrationStats {
+  double start_sec = 0;
+  double end_sec = 0;
+  double duration_sec() const { return end_sec - start_sec; }
+  double max_ms = 0;  // max latency observed during the migration window
+  size_t batches = 0;
+
+  void Serialize(Writer& w) const {
+    Encode(w, start_sec);
+    Encode(w, end_sec);
+    Encode(w, max_ms);
+    Encode(w, static_cast<uint64_t>(batches));
+  }
+  static MigrationStats Deserialize(Reader& r) {
+    MigrationStats ms;
+    ms.start_sec = Decode<double>(r);
+    ms.end_sec = Decode<double>(r);
+    ms.max_ms = Decode<double>(r);
+    ms.batches = static_cast<size_t>(Decode<uint64_t>(r));
+    return ms;
+  }
+};
+
+/// One process's share of a bench run's measurements.
+struct BenchShard {
+  uint32_t process_index = 0;
+  Timeline timeline{250'000'000};
+  Histogram per_record;
+  Histogram steady;
+  std::vector<MigrationStats> migrations;
+  uint64_t outputs = 0;
+  uint64_t records_sent = 0;
+  double duration_sec = 0;
+
+  void Serialize(Writer& w) const {
+    Encode(w, process_index);
+    Encode(w, timeline);
+    Encode(w, per_record);
+    Encode(w, steady);
+    Encode(w, migrations);
+    Encode(w, outputs);
+    Encode(w, records_sent);
+    Encode(w, duration_sec);
+  }
+  static BenchShard Deserialize(Reader& r) {
+    BenchShard s;
+    s.process_index = Decode<uint32_t>(r);
+    s.timeline = Decode<Timeline>(r);
+    s.per_record = Decode<Histogram>(r);
+    s.steady = Decode<Histogram>(r);
+    s.migrations = Decode<std::vector<MigrationStats>>(r);
+    s.outputs = Decode<uint64_t>(r);
+    s.records_sent = Decode<uint64_t>(r);
+    s.duration_sec = Decode<double>(r);
+    return s;
+  }
+};
+
+namespace detail {
+
+/// Pools per-process shards into one merged report. Timelines and
+/// histograms merge sample-by-sample; `records`/`outputs` sum and
+/// `duration` takes the max across processes (null pointers skip a
+/// field). Migration windows come from process 0 (all processes observe
+/// the same controller schedule) with each window's max latency
+/// recomputed over the *merged* timeline, so a spike seen only by a
+/// remote process still registers. Shards are sorted by process index.
+inline void MergeShardsInto(std::vector<BenchShard>& shards,
+                            Timeline* timeline, Histogram* per_record,
+                            Histogram* steady,
+                            std::vector<MigrationStats>* migrations,
+                            uint64_t* records, uint64_t* outputs,
+                            double* duration) {
+  std::sort(shards.begin(), shards.end(),
+            [](const BenchShard& a, const BenchShard& b) {
+              return a.process_index < b.process_index;
+            });
+  for (auto& s : shards) {
+    if (timeline) timeline->Merge(s.timeline);
+    if (per_record) per_record->Merge(s.per_record);
+    if (steady) steady->Merge(s.steady);
+    if (records) *records += s.records_sent;
+    if (outputs) *outputs += s.outputs;
+    if (duration) *duration = std::max(*duration, s.duration_sec);
+    if (migrations && s.process_index == 0) *migrations = s.migrations;
+  }
+  if (migrations && timeline) {
+    for (auto& ms : *migrations) {
+      ms.max_ms = static_cast<double>(timeline->MaxIn(
+                      static_cast<uint64_t>(ms.start_sec * 1e9),
+                      static_cast<uint64_t>(ms.end_sec * 1e9) +
+                          500'000'000)) *
+                  1e-6;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// A side channel in the bench dataflow that carries encoded BenchShards
+/// to global worker 0. Every worker holds the input handle (and must
+/// close it); only each process's local root sends. The collected shards
+/// are complete once the dataflow drains (Execute returns).
+template <typename T>
+struct ShardChannel {
+  timely::Input<std::vector<uint8_t>, T> in;
+  std::shared_ptr<std::vector<BenchShard>> shards;  // filled on worker 0
+
+  /// Sends this process's shard and closes the channel.
+  void Finish(const BenchShard& shard) {
+    in->Send(EncodeToBytes(shard));
+    in->Close();
+  }
+};
+
+/// Adds the shard side channel to a bench dataflow under construction.
+/// The collector runs on global worker 0; shards from every process land
+/// in `shards` in arrival order.
+template <typename T>
+ShardChannel<T> AddShardChannel(timely::Scope<T>& s) {
+  auto [in, stream] = timely::NewInput<std::vector<uint8_t>>(s);
+  auto shards = std::make_shared<std::vector<BenchShard>>();
+  timely::OperatorBuilder<T> b(s, "BenchShards");
+  auto* cin = b.AddInput(
+      stream, timely::Pact<std::vector<uint8_t>>::Exchange(
+                  [](const std::vector<uint8_t>&) { return uint64_t{0}; }));
+  b.Build([cin, shards](timely::OpCtx<T>&) {
+    cin->ForEach([&](const T&, std::vector<std::vector<uint8_t>>& recs) {
+      for (auto& bytes : recs) {
+        shards->push_back(DecodeFromBytes<BenchShard>(bytes));
+      }
+    });
+  });
+  return ShardChannel<T>{std::move(in), std::move(shards)};
+}
+
+}  // namespace megaphone

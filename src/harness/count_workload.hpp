@@ -27,6 +27,7 @@
 #include "common/hash.hpp"
 #include "common/rate_limiter.hpp"
 #include "common/time_util.hpp"
+#include "harness/bench_shard.hpp"
 #include "harness/histogram.hpp"
 #include "harness/rss.hpp"
 #include "megaphone/megaphone.hpp"
@@ -47,6 +48,7 @@ inline const char* CountModeName(CountMode m) {
 }
 
 struct CountBenchConfig {
+  /// Total workers across all processes of the run.
   uint32_t workers = 4;
   uint32_t num_bins = 1 << 8;
   uint64_t domain = 1 << 20;  // distinct keys; power of two
@@ -70,14 +72,6 @@ struct CountBenchConfig {
   uint64_t epoch_ns = 1'000'000;  // 1 ms epochs
 };
 
-struct MigrationStats {
-  double start_sec = 0;
-  double end_sec = 0;
-  double duration_sec() const { return end_sec - start_sec; }
-  double max_ms = 0;  // max latency observed during the migration window
-  size_t batches = 0;
-};
-
 struct CountBenchResult {
   Timeline timeline{250'000'000};
   Histogram per_record;  // per-record latency, steady state and migration
@@ -86,6 +80,11 @@ struct CountBenchResult {
   std::vector<std::pair<double, uint64_t>> rss_samples;  // (t_sec, bytes)
   uint64_t records_sent = 0;
   double duration_sec = 0;
+  /// True iff this process hosts global worker 0; only then are the
+  /// merged metrics above populated.
+  bool root = true;
+  /// Per-process shards the merged metrics were pooled from (root only).
+  std::vector<BenchShard> shards;
 };
 
 namespace detail {
@@ -98,9 +97,13 @@ inline int Log2(uint64_t v) { return 63 - __builtin_clzll(v); }
 
 }  // namespace detail
 
-/// Runs the counting workload; see CountBenchConfig. Latency, timeline,
-/// and memory metrics are collected on worker 0.
-inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
+/// Runs the counting workload; see CountBenchConfig. Each process's local
+/// root worker records its own latency shard (against the process's
+/// tracker replica, so wire delay is measured where it occurs); the
+/// shards are shipped to global worker 0 and merged into the result.
+/// `tcfg.workers * tcfg.processes` must equal `cfg.workers`.
+inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
+                                      const timely::Config& tcfg) {
   using timely::OpCtx;
   using timely::Scope;
   using timely::Worker;
@@ -108,9 +111,11 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
 
   MEGA_CHECK((cfg.domain & (cfg.domain - 1)) == 0) << "domain: power of two";
   MEGA_CHECK_GE(cfg.domain, cfg.num_bins);
+  MEGA_CHECK_EQ(tcfg.workers * std::max(1u, tcfg.processes), cfg.workers);
 
   CountBenchResult result;
   std::mutex result_mu;
+  std::shared_ptr<std::vector<BenchShard>> root_shards;
   std::atomic<uint64_t> t0{0};  // measurement origin (set after preload)
   std::atomic<uint64_t> total_sent{0};
 
@@ -119,15 +124,17 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
   const bool is_native = cfg.mode == CountMode::kNativeHash ||
                          cfg.mode == CountMode::kNativeKey;
 
-  timely::Execute(timely::Config{cfg.workers}, [&](Worker& w) {
+  timely::Execute(tcfg, [&](Worker& w) {
     struct Handles {
       timely::Input<ControlInst, T> ctrl;
       timely::Input<uint64_t, T> data;
       timely::ProbeHandle<T> probe;
+      ShardChannel<T> rep;
     };
     auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
       auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
       auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
+      ShardChannel<T> rep = AddShardChannel(s);
       timely::ProbeHandle<T> probe;
       Config mcfg;
       mcfg.num_bins = cfg.num_bins;
@@ -203,9 +210,9 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
           break;
         }
       }
-      return Handles{ctrl_in, data_in, probe};
+      return Handles{ctrl_in, data_in, probe, std::move(rep)};
     });
-    auto& [ctrl_in, data_in, probe] = handles;
+    auto& [ctrl_in, data_in, probe, rep] = handles;
 
     typename MigrationController<T>::Options mopts;
     mopts.strategy = cfg.strategy;
@@ -241,7 +248,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
     Assignment current = MakeInitialAssignment(cfg.num_bins, cfg.workers);
     size_t next_mig = 0;
 
-    // Worker-0 measurement state.
+    // Per-process measurement state, owned by the local root worker.
     Timeline timeline(250'000'000);
     Histogram per_record, steady;
     std::vector<MigrationStats> mig_stats;
@@ -286,7 +293,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
       // put a multi-millisecond floor under every latency).
       std::this_thread::yield();
 
-      if (w.index() == 0) {
+      if (w.IsLocalRoot()) {
         // Epoch completions -> latency samples.
         while (next_ack < cur_epoch && !probe.LessEqual(next_ack)) {
           uint64_t deadline = start + next_ack * cfg.epoch_ns;
@@ -330,8 +337,10 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
     if (!is_native) controller.Close(cur_epoch + 1);
     data_in->Close();
 
-    if (w.index() == 0) {
-      // Drain the backlog, acking the remaining epochs.
+    if (w.IsLocalRoot()) {
+      // Drain the backlog, acking the remaining epochs. probe.Done()
+      // requires every process's inputs closed, so by the time it holds
+      // all local workers have added to total_sent.
       w.StepUntil([&] { return probe.Done(); });
       uint64_t now = NowNanos();
       while (next_ack <= cur_epoch) {
@@ -356,17 +365,40 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
                             500'000'000)) *
                     1e-6;
       }
-      std::lock_guard<std::mutex> lock(result_mu);
-      result.timeline = std::move(timeline);
-      result.per_record = std::move(per_record);
-      result.steady = std::move(steady);
-      result.migrations = std::move(mig_stats);
-      result.rss_samples = std::move(rss);
-      result.duration_sec = static_cast<double>(now - start) * 1e-9;
+      BenchShard shard;
+      shard.process_index = tcfg.process_index;
+      shard.timeline = std::move(timeline);
+      shard.per_record = std::move(per_record);
+      shard.steady = std::move(steady);
+      shard.migrations = std::move(mig_stats);
+      shard.records_sent = total_sent.load();
+      shard.duration_sec = static_cast<double>(now - start) * 1e-9;
+      rep.Finish(shard);
+      if (w.index() == 0) {
+        std::lock_guard<std::mutex> lock(result_mu);
+        root_shards = rep.shards;
+        result.rss_samples = std::move(rss);
+      }
+    } else {
+      rep.in->Close();
     }
   });
-  result.records_sent = total_sent.load();
+
+  if (root_shards == nullptr) {
+    result.root = false;
+    return result;
+  }
+  result.shards = std::move(*root_shards);
+  detail::MergeShardsInto(result.shards, &result.timeline,
+                          &result.per_record, &result.steady,
+                          &result.migrations, &result.records_sent, nullptr,
+                          &result.duration_sec);
   return result;
+}
+
+/// Single-process convenience overload: `cfg.workers` worker threads.
+inline CountBenchResult RunCountBench(const CountBenchConfig& cfg) {
+  return RunCountBench(cfg, timely::Config{cfg.workers});
 }
 
 // ---------------------------------------------------------------------------

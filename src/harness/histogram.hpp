@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/serde.hpp"
 
 namespace megaphone {
 
@@ -88,6 +89,33 @@ class Histogram {
     return std::min(idx, kBuckets - 1);
   }
 
+  /// Wire format for cross-process report shards: the nonzero buckets as
+  /// sparse (index, count) pairs plus the total and the exact max.
+  void Serialize(Writer& w) const {
+    uint64_t nonzero = 0;
+    for (int i = 0; i < kBuckets; ++i) nonzero += counts_[i] != 0;
+    Encode(w, nonzero);
+    for (int i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      Encode(w, static_cast<uint32_t>(i));
+      Encode(w, counts_[i]);
+    }
+    Encode(w, total_);
+    Encode(w, max_);
+  }
+  static Histogram Deserialize(Reader& r) {
+    Histogram h;
+    uint64_t nonzero = r.ReadCount(sizeof(uint32_t) + sizeof(uint64_t));
+    for (uint64_t i = 0; i < nonzero; ++i) {
+      uint32_t idx = Decode<uint32_t>(r);
+      if (idx >= kBuckets) throw SerdeError("histogram: bucket out of range");
+      h.counts_[idx] = Decode<uint64_t>(r);
+    }
+    h.total_ = Decode<uint64_t>(r);
+    h.max_ = Decode<uint64_t>(r);
+    return h;
+  }
+
   /// Largest value mapping to bucket `i` (its representative value).
   static uint64_t BucketUpperEdge(int i) {
     if (i < (1 << kSubBits)) return static_cast<uint64_t>(i);
@@ -150,6 +178,29 @@ class Timeline {
       m = std::max(m, buckets_[i].max());
     }
     return m;
+  }
+
+  /// Pools another timeline's samples into this one, bucket by bucket.
+  /// Both timelines must use the same bucket width.
+  void Merge(const Timeline& other) {
+    MEGA_CHECK_EQ(bucket_ns_, other.bucket_ns_);
+    if (buckets_.size() < other.buckets_.size()) {
+      buckets_.resize(other.buckets_.size());
+    }
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[i].Merge(other.buckets_[i]);
+    }
+  }
+
+  void Serialize(Writer& w) const {
+    Encode(w, bucket_ns_);
+    Encode(w, buckets_);
+  }
+  static Timeline Deserialize(Reader& r) {
+    Timeline tl(Decode<uint64_t>(r));
+    if (tl.bucket_ns_ == 0) throw SerdeError("timeline: zero bucket width");
+    tl.buckets_ = Decode<std::vector<Histogram>>(r);
+    return tl;
   }
 
   uint64_t bucket_ns() const { return bucket_ns_; }

@@ -95,6 +95,26 @@ inline int WaitForChildren(const std::vector<pid_t>& children) {
   return rc;
 }
 
+/// Runs `fn(config)` across `processes` freshly forked processes: the
+/// P-1 children run fn and _exit(0) (skipping atexit handlers — they are
+/// workers only), the parent runs fn as process 0, reaps the children,
+/// and returns fn's result. With processes <= 1, a plain call. The
+/// caller must be single-threaded at entry (true between Executes); a
+/// fresh fork per run means every run gets fresh kernel-assigned ports
+/// and a fresh mesh, so a driver can launch many distributed runs
+/// back-to-back.
+template <typename Fn>
+auto RunForked(uint32_t processes, uint32_t workers_per_process, Fn&& fn) {
+  MultiProcess mp = LaunchLoopbackProcesses(processes, workers_per_process);
+  if (!mp.IsRoot()) {
+    fn(mp.config);
+    ::_exit(0);
+  }
+  auto result = fn(mp.config);
+  MEGA_CHECK_EQ(WaitForChildren(mp.children), 0) << "peer process failed";
+  return result;
+}
+
 /// Builds the run configuration from harness flags:
 ///   --processes=P [--workers=W]            self-forking loopback launch
 ///   --processes=P --process-index=I        manual launch, no fork; every

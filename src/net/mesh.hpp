@@ -83,32 +83,55 @@ class NetMesh final : public timely::NetRuntime {
     SetNonBlocking(listen_fd_);
 
     peers_.resize(opts_.processes);
+    // One deadline bounds the whole bring-up.
+    const uint64_t deadline =
+        NowNanos() + opts_.connect_timeout_ms * 1'000'000;
+    auto remaining_ms = [&]() -> uint64_t {
+      uint64_t now = NowNanos();
+      MEGA_CHECK(now < deadline) << "mesh bring-up timed out";
+      return (deadline - now) / 1'000'000 + 1;
+    };
     // Initiate to lower-indexed peers; their listeners exist (the caller
     // bound every address before starting, or the launcher pre-bound all
     // listeners before forking) and their backlog holds us until they
-    // accept.
+    // accept. On fixed ports (manual mode) a connection can also land in
+    // the backlog of the peer's *previous* run when processes launch
+    // meshes back-to-back: that listener closes without ever replying,
+    // so a failed handshake exchange means "peer not ready yet", not a
+    // fatal error — drop the connection and retry until the deadline.
     for (uint32_t j = 0; j < me; ++j) {
-      int fd = ConnectWithRetry(ParseEndpoint(opts_.addresses[j]),
-                                opts_.connect_timeout_ms);
-      uint8_t buf[kHandshakeBytes];
-      EncodeHandshake(buf, Handshake{kHandshakeMagic, kProtocolVersion, me});
-      MEGA_CHECK(WriteFull(fd, buf, kHandshakeBytes, stop_))
-          << "handshake write to process " << j << " failed";
-      MEGA_CHECK(ReadFull(fd, buf, kHandshakeBytes, stop_))
-          << "handshake read from process " << j << " failed";
-      Handshake peer = DecodeHandshake(buf);
-      MEGA_CHECK(peer.magic == kHandshakeMagic &&
-                 peer.version == kProtocolVersion && peer.process == j)
-          << "bad handshake from process " << j;
-      InstallPeer(j, fd);
+      for (;;) {
+        int fd = ConnectWithRetry(ParseEndpoint(opts_.addresses[j]),
+                                  remaining_ms());
+        uint8_t buf[kHandshakeBytes];
+        EncodeHandshake(buf,
+                        Handshake{kHandshakeMagic, kProtocolVersion, me});
+        if (!WriteFull(fd, buf, kHandshakeBytes, stop_) ||
+            !ReadFull(fd, buf, kHandshakeBytes, stop_)) {
+          ::close(fd);
+          (void)remaining_ms();
+          ::usleep(2000);
+          continue;
+        }
+        Handshake peer = DecodeHandshake(buf);
+        MEGA_CHECK(peer.magic == kHandshakeMagic &&
+                   peer.version == kProtocolVersion && peer.process == j)
+            << "bad handshake from process " << j;
+        InstallPeer(j, fd);
+        break;
+      }
     }
-    // Accept from higher-indexed peers, identifying each by handshake.
-    for (uint32_t remaining = opts_.processes - me - 1; remaining > 0;
-         --remaining) {
-      int fd = AcceptWithTimeout(listen_fd_, opts_.connect_timeout_ms);
+    // Accept from higher-indexed peers, identifying each by handshake. An
+    // accepted connection whose initiator hung up before completing the
+    // handshake (it was aiming at a previous run on this port and has
+    // already retried) is dropped and does not count.
+    for (uint32_t remaining = opts_.processes - me - 1; remaining > 0;) {
+      int fd = AcceptWithTimeout(listen_fd_, remaining_ms());
       uint8_t buf[kHandshakeBytes];
-      MEGA_CHECK(ReadFull(fd, buf, kHandshakeBytes, stop_))
-          << "handshake read on accepted connection failed";
+      if (!ReadFull(fd, buf, kHandshakeBytes, stop_)) {
+        ::close(fd);
+        continue;
+      }
       Handshake peer = DecodeHandshake(buf);
       MEGA_CHECK(peer.magic == kHandshakeMagic &&
                  peer.version == kProtocolVersion && peer.process > me &&
@@ -118,6 +141,7 @@ class NetMesh final : public timely::NetRuntime {
       MEGA_CHECK(WriteFull(fd, buf, kHandshakeBytes, stop_))
           << "handshake write on accepted connection failed";
       InstallPeer(peer.process, fd);
+      --remaining;
     }
     // Threads start only after the full mesh is up. A receive thread that
     // fails (malformed frame, decode error from corrupted bytes) aborts

@@ -363,17 +363,23 @@ struct Q8PerPerson {
   uint64_t window = ~uint64_t{0};
   std::string name;
   uint64_t emitted = ~uint64_t{0};
+  /// Auction windows seen before this person's record arrived (the
+  /// same-time race: an auction bundle can be processed ahead of the
+  /// person bundle it joins with). Flushed when the person arrives.
+  std::vector<uint64_t> pending;
 
   void Serialize(megaphone::Writer& w) const {
     megaphone::Encode(w, window);
     megaphone::Encode(w, name);
     megaphone::Encode(w, emitted);
+    megaphone::Encode(w, pending);
   }
   static Q8PerPerson Deserialize(megaphone::Reader& r) {
     Q8PerPerson s;
     s.window = megaphone::Decode<uint64_t>(r);
     s.name = megaphone::Decode<std::string>(r);
     s.emitted = megaphone::Decode<uint64_t>(r);
+    s.pending = megaphone::Decode<std::vector<uint64_t>>(r);
     return s;
   }
 };
@@ -393,15 +399,24 @@ StatefulOutput<Q8Out, T> Q8Mega(timely::Stream<ControlInst, T> control,
           auto& s = state[p.id];
           s.window = p.date_time / window;
           s.name = std::move(p.name);
+          for (uint64_t w : s.pending) {
+            if (w == s.window && s.emitted != w) {
+              emit(Q8Out{p.id, s.name});
+              s.emitted = w;
+            }
+          }
+          s.pending.clear();
         }
         for (auto& a : as) {
-          auto it = state.find(a.seller);
-          if (it == state.end()) continue;
-          auto& s = it->second;
+          auto& s = state[a.seller];
           uint64_t w = a.date_time / window;
-          if (s.window == w && s.emitted != w) {
-            emit(Q8Out{a.seller, s.name});
-            s.emitted = w;
+          if (s.window == w) {
+            if (s.emitted != w) {
+              emit(Q8Out{a.seller, s.name});
+              s.emitted = w;
+            }
+          } else if (s.window == ~uint64_t{0}) {
+            s.pending.push_back(w);  // same-time race: person not yet seen
           }
         }
       },

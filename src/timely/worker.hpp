@@ -286,6 +286,13 @@ class Worker {
 
   uint32_t index() const { return index_; }
   uint32_t peers() const { return runtime_->workers; }
+  /// First global worker index hosted by this process.
+  uint32_t local_begin() const { return runtime_->local_begin; }
+  /// Worker threads in this process.
+  uint32_t local_workers() const { return runtime_->local_workers; }
+  /// True for the first worker of this process — the one that owns
+  /// per-process measurement state in the bench harness.
+  bool IsLocalRoot() const { return index_ == runtime_->local_begin; }
 
   /// Builds a dataflow with timestamp type T. Every worker must call
   /// Dataflow the same number of times with structurally identical builds;

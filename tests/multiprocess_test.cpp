@@ -95,6 +95,52 @@ TEST(MultiProcess, FourByOneMatchesSingleProcessExactly) {
   EXPECT_EQ(dist.digest, ref.digest);
 }
 
+// The open-loop bench harness over the mesh: a short 2x2 key-count run
+// with a mid-run batched migration must merge a report shard from BOTH
+// processes (wire serde for timelines/histograms plus the shard channel)
+// into one timeline, and the per-window migration stats must be present.
+TEST(MultiProcess, CountBenchMergesShardsFromBothProcesses) {
+  CountBenchConfig cfg;
+  cfg.workers = 4;
+  cfg.num_bins = 32;
+  cfg.domain = 1 << 12;
+  cfg.rate = 40'000;
+  cfg.duration_ms = 600;
+  cfg.mode = CountMode::kKeyCount;
+  cfg.strategy = MigrationStrategy::kBatched;
+  cfg.batch_size = 4;
+  cfg.migrations.push_back({200, MakeImbalancedAssignment(32, 4)});
+
+  MultiProcess mp = LaunchLoopbackProcesses(/*processes=*/2,
+                                            /*workers_per_process=*/2);
+  if (!mp.IsRoot()) {
+    CountBenchResult r = RunCountBench(cfg, mp.config);
+    // Peers run workers only; their result must say so.
+    if (r.root) _exit(7);
+    _exit(0);
+  }
+  CountBenchResult r = RunCountBench(cfg, mp.config);
+  EXPECT_EQ(WaitForChildren(mp.children), 0) << "peer process failed";
+
+  ASSERT_TRUE(r.root);
+  ASSERT_EQ(r.shards.size(), 2u) << "expected one shard per process";
+  EXPECT_EQ(r.shards[0].process_index, 0u);
+  EXPECT_EQ(r.shards[1].process_index, 1u);
+  EXPECT_GT(r.records_sent, 0u);
+  // Both processes' local roots recorded epoch acks; the merged timeline
+  // must hold the sum of their samples.
+  uint64_t merged_samples = 0;
+  for (const auto& row : r.timeline.Rows()) merged_samples += row.samples;
+  uint64_t shard_samples = 0;
+  for (const auto& s : r.shards) {
+    for (const auto& row : s.timeline.Rows()) shard_samples += row.samples;
+  }
+  EXPECT_GT(merged_samples, 0u);
+  EXPECT_EQ(merged_samples, shard_samples);
+  ASSERT_FALSE(r.migrations.empty()) << "migration never observed";
+  EXPECT_GT(r.migrations[0].batches, 0u);
+}
+
 // Without any migration the distributed exchange path alone must already
 // be exact (isolates transport bugs from migration bugs).
 TEST(MultiProcess, NoMigrationStillExact) {

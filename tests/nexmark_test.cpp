@@ -143,11 +143,15 @@ using BuildFn = std::function<timely::ProbeHandle<T>(
 
 /// Runs `build` on `num_events` generated events over `workers` workers,
 /// optionally migrating 25% of bins out at 1/3 of the stream and back at
-/// 2/3. Returns the sorted formatted outputs.
+/// 2/3. Returns the sorted formatted outputs, prefixed with the emission
+/// epoch when `with_time` (arrival-driven joins like Q3/Q8 emit at
+/// whichever epoch completes the join — that epoch depends on delivery
+/// interleaving in native and Megaphone alike, so it is excluded from
+/// their equivalence check).
 std::vector<std::string> RunQuery(uint32_t workers, uint64_t num_events,
                                   const GeneratorConfig& gcfg,
                                   bool migrate, uint32_t num_bins,
-                                  BuildFn build) {
+                                  BuildFn build, bool with_time = true) {
   std::vector<std::string> rows;
   std::mutex mu;
   Generator gen(gcfg);
@@ -170,8 +174,10 @@ std::vector<std::string> RunQuery(uint32_t workers, uint64_t num_events,
       auto probe = build(s, ctrl_stream, streams,
                          [&](const T& t, std::string row) {
                            std::lock_guard<std::mutex> lock(mu);
-                           rows.push_back(std::to_string(t) + "@" +
-                                          std::move(row));
+                           rows.push_back(with_time
+                                              ? std::to_string(t) + "@" +
+                                                    std::move(row)
+                                              : std::move(row));
                          });
       return Handles{ctrl_in, p_in, a_in, b_in, probe};
     });
@@ -414,16 +420,22 @@ void CheckQueryEquivalence(int q) {
     return timely::ProbeHandle<T>();
   };
 
-  auto expected =
-      RunQuery(workers, num_events, gcfg, false, qcfg.num_bins, native);
+  // Q3 and Q8 are arrival-driven joins: the epoch a result is emitted at
+  // depends on which side's bundle lands second, which delivery timing
+  // decides in native and Megaphone alike. Their equivalence is over the
+  // output multiset; every other query also pins emission times.
+  const bool with_time = q != 3 && q != 8;
+
+  auto expected = RunQuery(workers, num_events, gcfg, false, qcfg.num_bins,
+                           native, with_time);
   ASSERT_FALSE(expected.empty()) << "query produced no output";
 
-  auto mega_plain =
-      RunQuery(workers, num_events, gcfg, false, qcfg.num_bins, mega);
+  auto mega_plain = RunQuery(workers, num_events, gcfg, false,
+                             qcfg.num_bins, mega, with_time);
   EXPECT_EQ(mega_plain, expected) << "megaphone (no migration) differs";
 
-  auto mega_migrated =
-      RunQuery(workers, num_events, gcfg, true, qcfg.num_bins, mega);
+  auto mega_migrated = RunQuery(workers, num_events, gcfg, true,
+                                qcfg.num_bins, mega, with_time);
   EXPECT_EQ(mega_migrated, expected) << "megaphone (migrating) differs";
 }
 

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI bench gates for the megabench driver.
+
+Two modes, combinable:
+
+  --report FILE [FILE ...]
+      Sanity-check merged figure reports: each must parse as JSON, carry a
+      non-empty "variants" array, and (for timeline figures) each variant
+      must report max_latency_during_migration_ms plus a non-empty latency
+      timeline aggregated from every launched process
+      (processes_reporting == the report's "processes").
+
+  --steady FILE --baseline BENCH_PR2.json [--min-ratio R]
+      Regression gate: compare the current steady-throughput suite run
+      against the committed baseline's post_recs_per_sec for matching row
+      names (megaphone-count-w4 is the headline). The floor R is
+      deliberately generous (default 0.15): CI machines differ wildly
+      from the baseline machine, so the gate only catches catastrophic
+      regressions — e.g. the single-process hot path accidentally paying
+      serialization — not noise.
+
+Exit status 0 iff every requested check passes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench_check: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_report(path: str) -> None:
+    with open(path) as f:
+        report = json.load(f)
+    variants = report.get("variants")
+    if not isinstance(variants, list) or not variants:
+        fail(f"{path}: no variants in report")
+    processes = int(report.get("processes", 1))
+    for v in variants:
+        label = v.get("label", "?")
+        if "timeline" in v:
+            if not v["timeline"]:
+                fail(f"{path}: variant {label} has an empty timeline")
+            samples = sum(int(r.get("samples", 0)) for r in v["timeline"])
+            if samples <= 0:
+                fail(f"{path}: variant {label} timeline has no samples")
+        if "migrations" in v and "max_latency_during_migration_ms" not in v:
+            fail(f"{path}: variant {label} lacks max-latency-during-migration")
+        if "processes_reporting" in v:
+            reporting = int(v["processes_reporting"])
+            if reporting != processes:
+                fail(
+                    f"{path}: variant {label} merged {reporting} process "
+                    f"shards, expected {processes}"
+                )
+    print(
+        f"bench_check: OK: {path}: {len(variants)} variants, "
+        f"{processes} process(es) merged"
+    )
+
+
+def steady_rows(doc: dict, key: str) -> dict:
+    rows = {}
+    for row in doc.get(key, []):
+        rows[row["name"]] = row
+    return rows
+
+
+def check_steady(current_path: str, baseline_path: str, min_ratio: float,
+                 names: list) -> None:
+    with open(current_path) as f:
+        current = steady_rows(json.load(f), "steady")
+    with open(baseline_path) as f:
+        baseline = steady_rows(json.load(f), "steady_throughput")
+    if not current:
+        fail(f"{current_path}: no steady rows")
+    for name in names:
+        if name not in current:
+            fail(f"{current_path}: missing steady row {name}")
+        if name not in baseline:
+            fail(f"{baseline_path}: missing baseline row {name}")
+        now = float(current[name]["recs_per_sec"])
+        base = float(baseline[name]["post_recs_per_sec"])
+        ratio = now / base if base > 0 else 0.0
+        status = "OK" if ratio >= min_ratio else "FAIL"
+        print(
+            f"bench_check: {status}: {name}: {now:.3e} recs/s vs baseline "
+            f"{base:.3e} (ratio {ratio:.3f}, floor {min_ratio})"
+        )
+        if ratio < min_ratio:
+            sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", nargs="+", default=[],
+                    help="merged figure reports to sanity-check")
+    ap.add_argument("--steady", help="current steady-suite JSON")
+    ap.add_argument("--baseline", help="committed BENCH_*.json baseline")
+    ap.add_argument("--min-ratio", type=float, default=0.15,
+                    help="throughput floor vs baseline (default 0.15)")
+    ap.add_argument("--name", action="append", default=None,
+                    help="steady row(s) to gate (default megaphone-count-w4)")
+    args = ap.parse_args()
+
+    if not args.report and not args.steady:
+        ap.error("nothing to check: pass --report and/or --steady")
+    for path in args.report:
+        check_report(path)
+    if args.steady:
+        if not args.baseline:
+            ap.error("--steady requires --baseline")
+        names = args.name or ["megaphone-count-w4"]
+        check_steady(args.steady, args.baseline, args.min_ratio, names)
+
+
+if __name__ == "__main__":
+    main()
