@@ -89,6 +89,16 @@ class Reader {
   bool AtEnd() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
 
+  /// Splits off a reader over the next `n` bytes (zero copy) and advances
+  /// this reader past them — how section-framed payloads (state chunks)
+  /// hand each section to its own decoder without slicing buffers.
+  Reader Sub(size_t n) {
+    if (n > size_ - pos_) throw SerdeError("serde: sub-reader past end");
+    Reader sub(data_ + pos_, n);
+    pos_ += n;
+    return sub;
+  }
+
  private:
   const uint8_t* data_;
   size_t size_;
@@ -293,6 +303,41 @@ struct Serde<std::map<K, V, C>> {
     return m;
   }
 };
+
+namespace detail {
+
+/// Field-list helpers behind MEGA_SERDE_FIELDS: encode/decode members in
+/// declaration order (comma folds are sequenced left to right).
+template <typename... Fs>
+void EncodeMany(Writer& w, const Fs&... fields) {
+  (megaphone::Encode(w, fields), ...);
+}
+template <typename... Fs>
+void DecodeMany(Reader& r, Fs&... fields) {
+  ((fields = megaphone::Decode<std::remove_reference_t<Fs>>(r)), ...);
+}
+
+}  // namespace detail
+
+/// Declares member serde from a field list, in order:
+///
+///   struct PerKey { uint64_t window; std::string name;
+///                   MEGA_SERDE_FIELDS(PerKey, window, name) };
+///
+/// Every listed field must itself be serde-able. This replaces hand-rolled
+/// Serialize/Deserialize pairs for plain aggregate state types.
+#define MEGA_SERDE_FIELDS(Type, ...)                       \
+  void Serialize(::megaphone::Writer& w) const {           \
+    ::megaphone::detail::EncodeMany(w, __VA_ARGS__);       \
+  }                                                        \
+  void DeserializeFieldsInto(::megaphone::Reader& r) {     \
+    ::megaphone::detail::DecodeMany(r, __VA_ARGS__);       \
+  }                                                        \
+  static Type Deserialize(::megaphone::Reader& r) {        \
+    Type out;                                              \
+    out.DeserializeFieldsInto(r);                          \
+    return out;                                            \
+  }
 
 template <typename K, typename V, typename H, typename E>
 struct Serde<std::unordered_map<K, V, H, E>> {

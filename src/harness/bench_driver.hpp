@@ -38,6 +38,19 @@ namespace megaphone {
 
 /// Figure id used for Table 1 (NEXMark LOC comparison).
 constexpr int kFigTable1 = 21;
+/// Figure id of the chunked-vs-monolithic large-state migration bench
+/// (the fig. 15 large-state scenario, measured under migration).
+constexpr int kFigChunk = 22;
+
+/// --chunk-bytes=N / --chunk-step-bytes=N: state-chunk frame bound and
+/// per-step flow-control budget (0 = monolithic single-frame migration).
+inline uint64_t ChunkBytesFromFlags(const Flags& flags, uint64_t dflt = 0) {
+  return flags.GetInt("chunk-bytes", flags.GetInt("chunk_bytes", dflt));
+}
+inline uint64_t ChunkStepBytesFromFlags(const Flags& flags) {
+  return flags.GetInt("chunk-step-bytes",
+                      flags.GetInt("chunk_bytes_per_step", 0));
+}
 
 // ---------------------------------------------------------------- procs
 
@@ -141,6 +154,8 @@ inline void Migrations(JsonWriter& j,
     j.Key("duration_sec").Value(m.duration_sec());
     j.Key("max_latency_ms").Value(m.max_ms);
     j.Key("batches").Value(static_cast<uint64_t>(m.batches));
+    j.Key("chunk_frames").Value(m.chunk_frames);
+    j.Key("chunk_bytes").Value(m.chunk_bytes);
     j.EndObject();
     overall = std::max(overall, m.max_ms);
   }
@@ -194,6 +209,8 @@ inline void RunFig01(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   base.duration_ms = DurationMsFromFlags(flags, base.rate, 6000);
   base.mode = CountMode::kKeyCount;
   base.batch_size = flags.GetInt("batch_size", 64);
+  base.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
   const uint64_t migrate_at =
       flags.GetInt("migrate_at_ms", base.duration_ms / 3);
 
@@ -276,6 +293,8 @@ inline void RunNexmarkFig(BenchProcs& procs, const Flags& flags, int q,
   base.rate = flags.GetDouble("rate", 50'000);
   base.duration_ms = DurationMsFromFlags(flags, base.rate, 5000);
   base.qcfg.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 256));
+  base.qcfg.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.qcfg.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
   base.batch_size = flags.GetInt("batch_size", 16);
   base.gcfg.auction_duration_ms = flags.GetInt("auction_ms", 1000);
   base.qcfg.q5_slide_ms = flags.GetInt("q5_slide_ms", 250);
@@ -466,6 +485,8 @@ inline void RunSweepFig(BenchProcs& procs, const Flags& flags, int fig,
   base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
   base.mode = CountMode::kKeyCount;
   base.gap_ms = flags.GetInt("gap", 0);
+  base.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
   const uint64_t migrate_at =
       flags.GetInt("migrate_at_ms", base.duration_ms / 5);
   const uint64_t keys_per_bin = flags.GetInt("keys_per_bin", 1 << 12);
@@ -551,6 +572,8 @@ inline void RunFig19(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   base.duration_ms = flags.GetInt("duration_ms", 2500);
   base.mode = CountMode::kKeyCount;
   base.batch_size = 64;
+  base.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
 
   std::vector<double> rates = {50'000, 100'000, 200'000, 400'000};
   if (flags.GetBool("full", false)) {
@@ -624,6 +647,8 @@ inline void RunFig20(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   base.sample_rss = true;
   base.batch_size = 64;
   base.state_bytes_per_sec = flags.GetInt("state_bw", 64ull << 20);
+  base.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
 
   std::printf("# Figure 20: RSS over time; domain=%llu (~%llu MB state), "
               "state_bw=%llu MB/s\n",
@@ -681,6 +706,101 @@ inline void RunFig20(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
                 (peak - baseline) / 1048576.0);
   }
   j.EndArray();
+}
+
+// ------------------------------------------------- fig 22 (chunked mig)
+
+/// Figure 22: the fig. 15 large-state scenario measured *under
+/// migration* — few bins over a large key domain (multi-megabyte dense
+/// bins), one all-at-once reconfiguration, chunked vs monolithic state
+/// movement at the same offered load. The headline comparison: chunked
+/// migration's per-migration max latency must sit below the monolithic
+/// single-frame path at equal steady throughput (tools/bench_check.py
+/// --max-latency gates exactly this).
+inline void RunFig22(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 16));
+  base.domain = flags.GetInt("domain", 1 << 22);
+  base.rate = flags.GetDouble("rate", 200'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
+  base.mode = CountMode::kKeyCount;
+  base.strategy = MigrationStrategy::kAllAtOnce;
+  const uint64_t migrate_at =
+      flags.GetInt("migrate_at_ms", base.duration_ms / 3);
+  const uint64_t chunk = ChunkBytesFromFlags(flags, 64 << 10);
+  const uint64_t chunk_step = ChunkStepBytesFromFlags(flags);
+
+  std::printf(
+      "# Figure 22: chunked vs monolithic migration, key-count, "
+      "domain=%llu (%llu KB/bin) bins=%u rate=%.0f chunk=%llu KB\n",
+      static_cast<unsigned long long>(base.domain),
+      static_cast<unsigned long long>(base.domain / base.num_bins * 8 >> 10),
+      base.num_bins, base.rate, static_cast<unsigned long long>(chunk >> 10));
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("bins").Value(static_cast<uint64_t>(base.num_bins));
+  j.Key("migrate_at_ms").Value(migrate_at);
+  j.Key("chunk_bytes").Value(chunk);
+  j.EndObject();
+
+  struct Variant {
+    const char* label;
+    uint64_t chunk_bytes;
+  };
+  const Variant variants[] = {
+      {"monolithic", 0},
+      {"chunked", chunk},
+  };
+
+  std::vector<std::pair<const char*, double>> max_ms;
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    std::string want = flags.GetStr("strategy", "all");
+    if (want != "all" && want != v.label) continue;
+    CountBenchConfig cfg = base;
+    cfg.chunk_bytes = v.chunk_bytes;
+    cfg.chunk_bytes_per_step = v.chunk_bytes == 0 ? 0 : chunk_step;
+    cfg.migrations.push_back(
+        {migrate_at, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+    auto r = procs.RunCount(cfg);
+    if (!r.root) continue;
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, cfg.num_bins, "bins", r.migrations);
+    double m = 0;
+    for (const auto& ms : r.migrations) m = std::max(m, ms.max_ms);
+    max_ms.emplace_back(v.label, m);
+    std::printf("# %s: steady p99 = %.3f ms, max during migration = "
+                "%.3f ms\n\n",
+                v.label,
+                static_cast<double>(r.steady.Quantile(0.99)) * 1e-6, m);
+
+    j.BeginObject();
+    j.Key("label").Value(v.label);
+    j.Key("strategy").Value(StrategyName(cfg.strategy));
+    j.Key("chunk_bytes").Value(v.chunk_bytes);
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    j.Key("records_sent").Value(r.records_sent);
+    j.Key("achieved_rate_per_s")
+        .Value(r.duration_sec > 0
+                   ? static_cast<double>(r.records_sent) / r.duration_sec
+                   : 0.0);
+    benchjson::HistSummary(j, "steady", r.steady);
+    benchjson::Migrations(j, r.migrations);
+    benchjson::Timeline_(j, r.timeline);
+    j.EndObject();
+  }
+  j.EndArray();
+
+  std::printf("# summary (max latency during migration, ms)\n");
+  for (const auto& [label, m] : max_ms) {
+    std::printf("%-14s %12.3f\n", label, m);
+  }
 }
 
 // -------------------------------------------------------------- table 1
@@ -763,7 +883,8 @@ inline void BenchDriverUsage() {
   std::fprintf(
       stderr,
       "megabench: unified paper-figure bench driver\n"
-      "  --fig=N           figure to run (1, 5-20; 21 = Table 1)\n"
+      "  --fig=N           figure to run (1, 5-20; 21 = Table 1;\n"
+      "                    22 = chunked vs monolithic migration)\n"
       "  --query=N         NEXMark query 1-8 (same as --fig=N+4)\n"
       "  --steady          closed-loop steady-throughput suite\n"
       "  --strategy=S      only run variant S (default: all)\n"
@@ -771,6 +892,10 @@ inline void BenchDriverUsage() {
       "  --processes=P     processes; P>1 forks a TCP mesh per run\n"
       "  --records=N       total records (overrides --duration_ms)\n"
       "  --rate=R          records/second offered load\n"
+      "  --chunk-bytes=N   state-chunk frame bound; 0 = monolithic\n"
+      "                    single-frame migration (fig 22 default 64K)\n"
+      "  --chunk-step-bytes=N  per-step chunk flow-control budget\n"
+      "                    (default 4x chunk-bytes)\n"
       "  --out=PATH        merged JSON report path\n"
       "                    (default megabench_figN.json)\n"
       "  --process-index=I manual multi-process mode (no fork); every\n"
@@ -794,7 +919,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
   if (fig == 0 && flags.Has("query")) {
     fig = static_cast<int>(flags.GetInt("query", 3)) + 4;
   }
-  const bool known = fig == 1 || (fig >= 5 && fig <= 20) || fig == kFigTable1;
+  const bool known = fig == 1 || (fig >= 5 && fig <= 20) ||
+                     fig == kFigTable1 || fig == kFigChunk;
   if (!known) {
     BenchDriverUsage();
     return 2;
@@ -826,6 +952,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
     RunFig19(procs, flags, j);
   } else if (fig == 20) {
     RunFig20(procs, flags, j);
+  } else if (fig == kFigChunk) {
+    RunFig22(procs, flags, j);
   } else {
     RunTable01(flags, j);
   }

@@ -21,19 +21,25 @@
 namespace megaphone {
 
 /// Summary of one migration observed by a bench driver: its window, the
-/// maximum latency inside it, and the number of completed batches.
+/// maximum latency inside it, the number of completed batches, and the
+/// state-chunk traffic the window shipped (frames and wire bytes — this
+/// process's share until shards merge, then the sum over all processes).
 struct MigrationStats {
   double start_sec = 0;
   double end_sec = 0;
   double duration_sec() const { return end_sec - start_sec; }
   double max_ms = 0;  // max latency observed during the migration window
   size_t batches = 0;
+  uint64_t chunk_frames = 0;
+  uint64_t chunk_bytes = 0;
 
   void Serialize(Writer& w) const {
     Encode(w, start_sec);
     Encode(w, end_sec);
     Encode(w, max_ms);
     Encode(w, static_cast<uint64_t>(batches));
+    Encode(w, chunk_frames);
+    Encode(w, chunk_bytes);
   }
   static MigrationStats Deserialize(Reader& r) {
     MigrationStats ms;
@@ -41,6 +47,8 @@ struct MigrationStats {
     ms.end_sec = Decode<double>(r);
     ms.max_ms = Decode<double>(r);
     ms.batches = static_cast<size_t>(Decode<uint64_t>(r));
+    ms.chunk_frames = Decode<uint64_t>(r);
+    ms.chunk_bytes = Decode<uint64_t>(r);
     return ms;
   }
 };
@@ -88,7 +96,8 @@ namespace detail {
 /// field). Migration windows come from process 0 (all processes observe
 /// the same controller schedule) with each window's max latency
 /// recomputed over the *merged* timeline, so a spike seen only by a
-/// remote process still registers. Shards are sorted by process index.
+/// remote process still registers, and each window's chunk traffic summed
+/// over every process's shard. Shards are sorted by process index.
 inline void MergeShardsInto(std::vector<BenchShard>& shards,
                             Timeline* timeline, Histogram* per_record,
                             Histogram* steady,
@@ -107,6 +116,18 @@ inline void MergeShardsInto(std::vector<BenchShard>& shards,
     if (outputs) *outputs += s.outputs;
     if (duration) *duration = std::max(*duration, s.duration_sec);
     if (migrations && s.process_index == 0) *migrations = s.migrations;
+  }
+  if (migrations) {
+    // Chunk traffic is observed per process; windows line up across
+    // shards because every process runs the same controller schedule.
+    for (auto& s : shards) {
+      if (s.process_index == 0) continue;
+      for (size_t i = 0;
+           i < migrations->size() && i < s.migrations.size(); ++i) {
+        (*migrations)[i].chunk_frames += s.migrations[i].chunk_frames;
+        (*migrations)[i].chunk_bytes += s.migrations[i].chunk_bytes;
+      }
+    }
   }
   if (migrations && timeline) {
     for (auto& ms : *migrations) {

@@ -57,6 +57,11 @@ struct CountBenchConfig {
   CountMode mode = CountMode::kKeyCount;
   bool preload = true;  // touch every key before measuring
   uint64_t state_bytes_per_sec = 0;
+  /// State-chunk frame bound and per-step flow-control budget
+  /// (megaphone::Config::chunk_bytes / chunk_bytes_per_step; 0 =
+  /// monolithic single-frame migration).
+  uint64_t chunk_bytes = 0;
+  uint64_t chunk_bytes_per_step = 0;
 
   struct Migration {
     uint64_t at_ms;  // relative to measurement start
@@ -139,10 +144,12 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
       Config mcfg;
       mcfg.num_bins = cfg.num_bins;
       mcfg.state_bytes_per_sec = cfg.state_bytes_per_sec;
+      mcfg.chunk_bytes = cfg.chunk_bytes;
+      mcfg.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
       mcfg.name = CountModeName(cfg.mode);
       switch (cfg.mode) {
         case CountMode::kHashCount: {
-          using BinState = std::unordered_map<uint64_t, uint64_t>;
+          using BinState = state::MapState<uint64_t, uint64_t>;
           auto out = Unary<BinState, uint64_t>(
               ctrl_stream, data_stream,
               [](const uint64_t& k) { return HashMix64(k); },
@@ -155,13 +162,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
           break;
         }
         case CountMode::kKeyCount: {
-          struct DenseBin {
-            std::vector<uint64_t> counts;
-            void Serialize(Writer& wr) const { Encode(wr, counts); }
-            static DenseBin Deserialize(Reader& r) {
-              return DenseBin{Decode<std::vector<uint64_t>>(r)};
-            }
-          };
+          using DenseBin = state::DenseState<uint64_t>;
           const int shift = 64 - log_domain;
           const uint64_t slot_mask = keys_per_bin - 1;
           auto out = Unary<DenseBin, uint64_t>(
@@ -170,8 +171,8 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
               [keys_per_bin, slot_mask](const T&, DenseBin& state,
                                         std::vector<uint64_t>& recs, auto,
                                         auto&) {
-                if (state.counts.empty()) state.counts.resize(keys_per_bin);
-                for (uint64_t k : recs) state.counts[k & slot_mask]++;
+                if (state.empty()) state.resize(keys_per_bin);
+                for (uint64_t k : recs) state[k & slot_mask]++;
               },
               mcfg);
           probe = out.probe;
@@ -255,6 +256,8 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
     std::vector<std::pair<double, uint64_t>> rss;
     bool was_migrating = false;
     size_t batches_before = 0;
+    uint64_t chunk_frames_before = 0;  // chunk_counters() at window start
+    uint64_t chunk_bytes_before = 0;
     uint64_t next_ack = 1;       // next epoch awaiting completion
     uint64_t next_tick = 0;      // next 250 ms observation boundary
     const uint64_t weight =
@@ -322,12 +325,18 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
           ms.start_sec = static_cast<double>(now - start) * 1e-9;
           ms.batches = controller.completed_batches() - batches_before;
           mig_stats.push_back(ms);
+          chunk_frames_before = chunk_counters().frames.load();
+          chunk_bytes_before = chunk_counters().bytes.load();
         }
         if (!migrating && was_migrating && !mig_stats.empty()) {
           mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
           mig_stats.back().batches =
               controller.completed_batches() - batches_before;
           batches_before = controller.completed_batches();
+          mig_stats.back().chunk_frames =
+              chunk_counters().frames.load() - chunk_frames_before;
+          mig_stats.back().chunk_bytes =
+              chunk_counters().bytes.load() - chunk_bytes_before;
         }
         was_migrating = migrating;
       }
@@ -357,6 +366,10 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
         mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
         mig_stats.back().batches =
             controller.completed_batches() - batches_before;
+        mig_stats.back().chunk_frames =
+            chunk_counters().frames.load() - chunk_frames_before;
+        mig_stats.back().chunk_bytes =
+            chunk_counters().bytes.load() - chunk_bytes_before;
       }
       for (auto& ms : mig_stats) {
         ms.max_ms = static_cast<double>(timeline.MaxIn(
@@ -421,10 +434,19 @@ struct DetCountConfig {
   uint64_t records_per_epoch = 4096;  // all workers combined
   uint64_t epochs = 8;
   /// Epoch at which every worker schedules the initial->imbalanced
-  /// migration; >= epochs disables migration.
+  /// migration; >= epochs disables migration. Ignored when `schedule` is
+  /// nonempty.
   uint64_t migrate_at_epoch = 3;
+  /// Optional explicit migration schedule: (epoch, target assignment)
+  /// pairs in nondecreasing epoch order, overriding migrate_at_epoch —
+  /// how the property tests drive *random* reconfiguration sequences.
+  std::vector<std::pair<uint64_t, Assignment>> schedule;
   MigrationStrategy strategy = MigrationStrategy::kFluid;
   size_t batch_size = 1;
+  /// State-chunk frame bound and per-step budget (0 = monolithic). The
+  /// final digest must be byte-identical at every setting.
+  uint64_t chunk_bytes = 0;
+  uint64_t chunk_bytes_per_step = 0;
   uint64_t seed = 1;
 };
 
@@ -472,8 +494,10 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
       Config mcfg;
       mcfg.num_bins = cfg.num_bins;
+      mcfg.chunk_bytes = cfg.chunk_bytes;
+      mcfg.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
       mcfg.name = "DetCount";
-      using BinState = std::unordered_map<uint64_t, uint64_t>;
+      using BinState = state::MapState<uint64_t, uint64_t>;
       // Every record emits its key's running count; the collector below
       // keeps the maximum per key, which equals the final count.
       auto out = Unary<BinState, KV>(
@@ -509,8 +533,15 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     mopts.gap = 0;
     MigrationController<T> controller(ctrl_in, probe, w.index(), mopts);
 
-    const Assignment initial = MakeInitialAssignment(cfg.num_bins, W);
-    const Assignment target = MakeImbalancedAssignment(cfg.num_bins, W);
+    // The effective migration schedule: either the explicit one or the
+    // classic single initial->imbalanced step.
+    std::vector<std::pair<uint64_t, Assignment>> schedule = cfg.schedule;
+    if (schedule.empty() && cfg.migrate_at_epoch < cfg.epochs) {
+      schedule.emplace_back(cfg.migrate_at_epoch,
+                            MakeImbalancedAssignment(cfg.num_bins, W));
+    }
+    Assignment current = MakeInitialAssignment(cfg.num_bins, W);
+    size_t next_mig = 0;
     const uint32_t me = w.index();
     uint64_t sent = 0;
     std::vector<uint64_t> batch;
@@ -520,7 +551,11 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     // same probe state at the same epoch, so batch issue/completion — and
     // therefore completed_batches() — is deterministic.
     for (uint64_t e = 0; e < cfg.epochs; ++e) {
-      if (e == cfg.migrate_at_epoch) controller.MigrateTo(initial, target);
+      while (next_mig < schedule.size() && schedule[next_mig].first == e) {
+        controller.MigrateTo(current, schedule[next_mig].second);
+        current = schedule[next_mig].second;
+        next_mig++;
+      }
       controller.Advance(e, e + 1);
       batch.clear();
       for (uint64_t idx = e * cfg.records_per_epoch;

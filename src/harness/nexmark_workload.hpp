@@ -186,6 +186,8 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
     std::vector<MigrationStats> mig_stats;
     bool was_migrating = false;
     size_t batches_before = 0;
+    uint64_t chunk_frames_before = 0;
+    uint64_t chunk_bytes_before = 0;
     uint64_t next_ack = 1, next_tick = 0;
 
     uint64_t cur_epoch = 0;
@@ -272,12 +274,18 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
           MigrationStats ms;
           ms.start_sec = static_cast<double>(now - start) * 1e-9;
           mig_stats.push_back(ms);
+          chunk_frames_before = chunk_counters().frames.load();
+          chunk_bytes_before = chunk_counters().bytes.load();
         }
         if (!migrating && was_migrating && !mig_stats.empty()) {
           mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
           mig_stats.back().batches =
               controller.completed_batches() - batches_before;
           batches_before = controller.completed_batches();
+          mig_stats.back().chunk_frames =
+              chunk_counters().frames.load() - chunk_frames_before;
+          mig_stats.back().chunk_bytes =
+              chunk_counters().bytes.load() - chunk_bytes_before;
         }
         was_migrating = migrating;
       }
@@ -303,6 +311,12 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
       if (was_migrating && !mig_stats.empty() &&
           mig_stats.back().end_sec == 0) {
         mig_stats.back().end_sec = static_cast<double>(now - start) * 1e-9;
+        mig_stats.back().batches =
+            controller.completed_batches() - batches_before;
+        mig_stats.back().chunk_frames =
+            chunk_counters().frames.load() - chunk_frames_before;
+        mig_stats.back().chunk_bytes =
+            chunk_counters().bytes.load() - chunk_bytes_before;
       }
       for (auto& ms : mig_stats) {
         ms.max_ms = static_cast<double>(timeline.MaxIn(
@@ -366,6 +380,10 @@ struct DetNexmarkConfig {
   uint64_t migrate_at_epoch = 2;
   MigrationStrategy strategy = MigrationStrategy::kFluid;
   size_t batch_size = 1;
+  /// State-chunk frame bound and per-step budget (0 = monolithic). The
+  /// output digest must be independent of the setting.
+  uint64_t chunk_bytes = 0;
+  uint64_t chunk_bytes_per_step = 0;
   nexmark::GeneratorConfig gcfg;
 };
 
@@ -409,6 +427,8 @@ inline DetNexmarkResult RunDeterministicNexmarkQ3(const DetNexmarkConfig& cfg,
       nexmark::NexmarkStreams<T> streams{p_stream, a_stream, b_stream};
       nexmark::QueryConfig qcfg;
       qcfg.num_bins = cfg.num_bins;
+      qcfg.chunk_bytes = cfg.chunk_bytes;
+      qcfg.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
       auto out = nexmark::Q3Mega(ctrl_stream, streams, qcfg);
 
       // Collector on global worker 0: the single point of truth any

@@ -67,13 +67,7 @@ inline SteadyResult RunSteadyThroughput(const SteadyConfig& cfg) {
       auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
       timely::ProbeHandle<T> probe;
       if (cfg.use_megaphone) {
-        struct DenseBin {
-          std::vector<uint64_t> counts;
-          void Serialize(Writer& wr) const { Encode(wr, counts); }
-          static DenseBin Deserialize(Reader& r) {
-            return DenseBin{Decode<std::vector<uint64_t>>(r)};
-          }
-        };
+        using DenseBin = state::DenseState<uint64_t>;
         Config mcfg;
         mcfg.num_bins = cfg.num_bins;
         mcfg.name = "SteadyCount";
@@ -85,8 +79,8 @@ inline SteadyResult RunSteadyThroughput(const SteadyConfig& cfg) {
             [keys_per_bin, slot_mask](const T&, DenseBin& state,
                                       std::vector<uint64_t>& recs, auto,
                                       auto&) {
-              if (state.counts.empty()) state.counts.resize(keys_per_bin);
-              for (uint64_t k : recs) state.counts[k & slot_mask]++;
+              if (state.empty()) state.resize(keys_per_bin);
+              for (uint64_t k : recs) state[k & slot_mask]++;
             },
             mcfg);
         probe = out.probe;

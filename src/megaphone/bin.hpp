@@ -5,11 +5,20 @@
 // post-dated records ("the list of pending (val, time) records produced by
 // the operator for future times", §3.4), so that a migration moves both.
 //
+// The user state inside a bin sits on the migratable-state layer
+// (src/state/): a backend exposing whole-value serde *and* a chunk
+// interface, so a bin can leave its worker either as one monolithic frame
+// or as a sequence of size-bounded chunk frames (BinChunk) absorbed
+// incrementally at the destination. Bin and BinaryBin share one
+// serde/chunk implementation (detail::SerializeParts and friends) that is
+// variadic over the pending maps.
+//
 // The F and S operator instances on the same worker share the bin
 // container through a shared pointer — they run on the same thread, so no
 // synchronization is needed, exactly as the paper describes.
 #pragma once
 
+#include <array>
 #include <map>
 #include <memory>
 #include <set>
@@ -18,46 +27,176 @@
 #include "common/check.hpp"
 #include "common/serde.hpp"
 #include "megaphone/control.hpp"
+#include "state/state.hpp"
 
 namespace megaphone {
+
+namespace detail {
+
+/// Section tags inside a BinChunk payload.
+constexpr uint8_t kSecWhole = 0;     // monolithic whole-bin encoding
+constexpr uint8_t kSecState = 1;     // one backend state chunk
+constexpr uint8_t kSecPending0 = 2;  // pending map i at tag kSecPending0+i
+
+/// Whole-value serde shared by Bin and BinaryBin: the state backend
+/// followed by each pending map, in declaration order.
+template <typename Backend, typename... Pending>
+void SerializeParts(Writer& w, const Backend& backend,
+                    const Pending&... pending) {
+  Encode(w, backend);
+  (Encode(w, pending), ...);
+}
+
+template <typename Backend, typename... Pending>
+void DeserializeParts(Reader& r, Backend& backend, Pending&... pending) {
+  backend = Decode<Backend>(r);
+  ((pending = Decode<Pending>(r)), ...);
+}
+
+/// Chunked extraction shared by Bin and BinaryBin: state sections from the
+/// backend's enumerator, then each pending map's encoding sliced into
+/// bounded sections. `max_bytes == 0` produces the monolithic form — one
+/// frame holding a single whole-bin section.
+template <typename Backend, typename... Pending>
+void DrainPartsChunks(size_t max_bytes,
+                      std::vector<std::vector<uint8_t>>& out,
+                      const Backend& backend, const Pending&... pending) {
+  state::ChunkBuilder cb(max_bytes, &out);
+  if (max_bytes == 0) {
+    Writer w;
+    SerializeParts(w, backend, pending...);
+    cb.AddSectionSliced(kSecWhole, w.Take());
+  } else {
+    backend.EnumerateChunks(max_bytes, [&](std::vector<uint8_t>&& sec) {
+      cb.AddSection(kSecState, sec);
+    });
+    uint8_t tag = kSecPending0;
+    auto add_pending = [&](const auto& p) {
+      if (!p.empty()) cb.AddSectionSliced(tag, EncodeToBytes(p));
+      ++tag;
+    };
+    (add_pending(pending), ...);
+  }
+  cb.Finish();
+}
+
+/// Incremental absorption shared by Bin and BinaryBin. Pending-map
+/// sections accumulate into `bufs` (one buffer per map) until the last
+/// frame, whose arrival finalizes the backend and decodes the maps.
+template <size_t N, typename Backend, typename... Pending>
+void AbsorbPartsChunk(Reader& r, bool last,
+                      std::array<std::vector<uint8_t>, N>& bufs,
+                      Backend& backend, Pending&... pending) {
+  static_assert(sizeof...(Pending) == N);
+  state::ForEachSection(r, [&](uint8_t tag, Reader& sec) {
+    if (tag == kSecWhole) {
+      DeserializeParts(sec, backend, pending...);
+    } else if (tag == kSecState) {
+      backend.AbsorbChunk(sec);
+      // Malformed wire input surfaces as SerdeError, never UB or abort.
+      if (!sec.AtEnd()) {
+        throw SerdeError("bin chunk: state section not fully absorbed");
+      }
+    } else {
+      size_t i = tag - kSecPending0;
+      if (i >= N) throw SerdeError("bin chunk: unknown section tag");
+      size_t n = sec.remaining();
+      size_t old = bufs[i].size();
+      bufs[i].resize(old + n);
+      sec.ReadBytes(bufs[i].data() + old, n);
+    }
+  });
+  if (last) {
+    backend.FinishAbsorb();
+    size_t i = 0;
+    auto finish_pending = [&](auto& p) {
+      if (!bufs[i].empty()) {
+        p = DecodeFromBytes<std::remove_reference_t<decltype(p)>>(bufs[i]);
+        bufs[i].clear();
+        bufs[i].shrink_to_fit();
+      }
+      ++i;
+    };
+    (finish_pending(pending), ...);
+  }
+}
+
+}  // namespace detail
 
 /// State and pending records of one bin for a unary operator.
 template <typename S, typename D, typename T>
 struct Bin {
-  S state{};
+  using Backend = state::BackendFor<S>;
+
+  Backend state{};
   std::map<T, std::vector<D>> pending;  // post-dated records by time
 
+  /// The state reference the operator logic sees: the declared type S.
+  S& user_state() { return state::BackendSel<S>::user(state); }
+
+  template <typename Fn>
+  void ForEachPendingTime(Fn fn) const {
+    for (const auto& [t, _] : pending) fn(t);
+  }
+
   void Serialize(Writer& w) const {
-    Encode(w, state);
-    Encode(w, pending);
+    detail::SerializeParts(w, state, pending);
   }
   static Bin Deserialize(Reader& r) {
     Bin b;
-    b.state = Decode<S>(r);
-    b.pending = Decode<std::map<T, std::vector<D>>>(r);
+    detail::DeserializeParts(r, b.state, b.pending);
     return b;
   }
+
+  void DrainChunks(size_t max_bytes,
+                   std::vector<std::vector<uint8_t>>& out) const {
+    detail::DrainPartsChunks(max_bytes, out, state, pending);
+  }
+  void AbsorbChunk(Reader& r, bool last) {
+    detail::AbsorbPartsChunk(r, last, absorb_bufs_, state, pending);
+  }
+
+ private:
+  std::array<std::vector<uint8_t>, 1> absorb_bufs_;
 };
 
 /// State and pending records of one bin for a binary operator.
 template <typename S, typename D1, typename D2, typename T>
 struct BinaryBin {
-  S state{};
+  using Backend = state::BackendFor<S>;
+
+  Backend state{};
   std::map<T, std::vector<D1>> pending1;
   std::map<T, std::vector<D2>> pending2;
 
+  S& user_state() { return state::BackendSel<S>::user(state); }
+
+  template <typename Fn>
+  void ForEachPendingTime(Fn fn) const {
+    for (const auto& [t, _] : pending1) fn(t);
+    for (const auto& [t, _] : pending2) fn(t);
+  }
+
   void Serialize(Writer& w) const {
-    Encode(w, state);
-    Encode(w, pending1);
-    Encode(w, pending2);
+    detail::SerializeParts(w, state, pending1, pending2);
   }
   static BinaryBin Deserialize(Reader& r) {
     BinaryBin b;
-    b.state = Decode<S>(r);
-    b.pending1 = Decode<std::map<T, std::vector<D1>>>(r);
-    b.pending2 = Decode<std::map<T, std::vector<D2>>>(r);
+    detail::DeserializeParts(r, b.state, b.pending1, b.pending2);
     return b;
   }
+
+  void DrainChunks(size_t max_bytes,
+                   std::vector<std::vector<uint8_t>>& out) const {
+    detail::DrainPartsChunks(max_bytes, out, state, pending1, pending2);
+  }
+  void AbsorbChunk(Reader& r, bool last) {
+    detail::AbsorbPartsChunk(r, last, absorb_bufs_, state, pending1,
+                             pending2);
+  }
+
+ private:
+  std::array<std::vector<uint8_t>, 2> absorb_bufs_;
 };
 
 /// The per-worker bin container shared between co-located F and S
@@ -156,33 +295,43 @@ class BinStashPool {
   std::vector<BinStash<D>> free_;
 };
 
-/// A migrating bin in flight on the state channel: the serialized payload
-/// plus its destination. Serialization is deliberate — its cost is
-/// proportional to the state size, which is what makes migration duration
-/// and memory behave as in the paper's evaluation.
-///
-/// Member serde lets the state channel itself cross process boundaries:
-/// a migration to a worker in another process ships these bytes over the
-/// mesh, so state genuinely moves over the wire.
-struct BinMigration {
-  uint32_t target = 0;
-  BinId bin = 0;
-  std::vector<uint8_t> bytes;
+namespace detail {
 
-  size_t WireSize() const { return bytes.size() + sizeof(uint32_t) * 2; }
+/// Extracts `bin` from the shared container for migration: unregisters its
+/// pending times, drains it into chunk frames for `target` (monolithic
+/// when `chunk_bytes == 0`), and clears the slot. Returns an empty vector
+/// for non-resident bins — there is nothing to move; the target creates
+/// the bin lazily. A resident bin always yields at least one frame (the
+/// final one), so residency itself transfers even when the bin is empty.
+template <typename BinT, typename T>
+std::vector<BinChunk> ExtractBinChunks(BinsShared<BinT, T>& shared,
+                                       BinId bin, uint32_t target,
+                                       uint64_t chunk_bytes) {
+  auto& slot = shared.bins[bin];
+  if (!slot) return {};
+  slot->ForEachPendingTime([&](const T& t) {
+    auto it = shared.pending_bins.find(t);
+    if (it != shared.pending_bins.end()) it->second.erase(bin);
+    // Empty sets are left for S to erase and release its capability.
+  });
+  std::vector<std::vector<uint8_t>> payloads;
+  slot->DrainChunks(static_cast<size_t>(chunk_bytes), payloads);
+  slot.reset();
+  if (payloads.empty()) payloads.emplace_back();  // residency-only bin
+  std::vector<BinChunk> frames;
+  frames.reserve(payloads.size());
+  for (uint32_t i = 0; i < payloads.size(); ++i) {
+    BinChunk c;
+    c.target = target;
+    c.bin = bin;
+    c.seq = i;
+    c.last = (i + 1 == payloads.size()) ? 1 : 0;
+    c.bytes = std::move(payloads[i]);
+    frames.push_back(std::move(c));
+  }
+  return frames;
+}
 
-  void Serialize(Writer& w) const {
-    Encode(w, target);
-    Encode(w, bin);
-    Encode(w, bytes);
-  }
-  static BinMigration Deserialize(Reader& r) {
-    BinMigration m;
-    m.target = Decode<uint32_t>(r);
-    m.bin = Decode<BinId>(r);
-    m.bytes = Decode<std::vector<uint8_t>>(r);
-    return m;
-  }
-};
+}  // namespace detail
 
 }  // namespace megaphone

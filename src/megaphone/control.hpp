@@ -10,17 +10,61 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/serde.hpp"
 #include "timely/antichain.hpp"
 #include "timely/operator.hpp"
 
 namespace megaphone {
 
 using BinId = uint32_t;
+
+/// A migrating state chunk in flight on the state channel: one
+/// size-bounded frame of a bin's content, tagged with its destination and
+/// its position in the bin's chunk sequence. All frames of one bin
+/// migration travel at the migration time t (the frontier argument is
+/// unchanged: S cannot apply records at ≥ t until F releases t, which
+/// happens only after the last frame left).
+///
+/// The payload is a section stream ([u8 tag][u64 len][bytes]...; tags in
+/// bin.hpp): state sections feed the backend's incremental absorb;
+/// pending-map sections are reassembled and decoded at the last frame; a
+/// whole-bin section carries the monolithic encoding when chunking is off.
+///
+/// Member serde lets the state channel itself cross process boundaries:
+/// a migration to a worker in another process ships these bytes over the
+/// mesh, so state genuinely moves over the wire.
+struct BinChunk {
+  uint32_t target = 0;
+  BinId bin = 0;
+  uint32_t seq = 0;  // position within the bin's migration, from 0
+  uint8_t last = 1;  // nonzero on the final frame of the bin
+  std::vector<uint8_t> bytes;
+
+  size_t WireSize() const { return bytes.size() + 3 * sizeof(uint32_t) + 1; }
+
+  void Serialize(Writer& w) const {
+    Encode(w, target);
+    Encode(w, bin);
+    Encode(w, seq);
+    Encode(w, last);
+    Encode(w, bytes);
+  }
+  static BinChunk Deserialize(Reader& r) {
+    BinChunk c;
+    c.target = Decode<uint32_t>(r);
+    c.bin = Decode<BinId>(r);
+    c.seq = Decode<uint32_t>(r);
+    c.last = Decode<uint8_t>(r);
+    c.bytes = Decode<std::vector<uint8_t>>(r);
+    return c;
+  }
+};
 
 /// One configuration update: bin -> worker, effective at the update's
 /// stream timestamp.
@@ -212,34 +256,84 @@ class ControlState {
   }
 
   /// Migrations whose time has been reached by the S output frontier, in
-  /// time order. `ready(t)` decides readiness (probe check); `migrate(t,
-  /// bin, target)` performs the state movement. The capability at `t` is
-  /// released after the whole batch at `t` has been shipped.
-  template <typename ReadyFn, typename MigrateFn>
+  /// time order. `ready(t)` decides readiness (probe check); `extract(t,
+  /// bin, target)` uninstalls the bin and returns its chunk frames. The
+  /// frames are *queued*, not sent: FlushChunks drains the queue under a
+  /// per-step byte budget, and the capability at `t` is released only when
+  /// the last frame at `t` has actually been emitted — so the state
+  /// frontier cannot pass `t` while chunks are still in flight, which is
+  /// what makes incremental installation at S safe.
+  template <typename ReadyFn, typename ExtractFn>
   bool RunReadyMigrations(timely::OpCtx<T>& ctx, ReadyFn ready,
-                          MigrateFn migrate) {
+                          ExtractFn extract) {
     bool any = false;
     while (!migrations_.empty()) {
       auto it = migrations_.begin();
       const T& t = it->first;
       if (!ready(t)) break;
-      for (auto& [bin, target] : it->second) migrate(t, bin, target);
-      ctx.Release(t);
+      size_t before = outgoing_.size();
+      for (auto& [bin, target] : it->second) {
+        for (auto& frame : extract(t, bin, target)) {
+          outgoing_.push_back(OutgoingChunk{t, std::move(frame), false});
+        }
+      }
+      if (outgoing_.size() == before) {
+        ctx.Release(t);  // every bin at t was non-resident: nothing moves
+      } else {
+        outgoing_.back().release_after = true;
+      }
       migrations_.erase(it);
       any = true;
     }
     return any;
   }
 
-  bool idle() const { return pending_.empty() && migrations_.empty(); }
+  /// Emits queued chunk frames in FIFO order, at most ~`budget_bytes` of
+  /// wire payload per call (0 = unbounded); at least one frame goes out
+  /// whenever any is queued, so progress never stalls on a budget smaller
+  /// than a frame. Called once per worker step, this is the flow control
+  /// that interleaves state movement with data processing.
+  template <typename SendFn>
+  bool FlushChunks(timely::OpCtx<T>& ctx, uint64_t budget_bytes,
+                   SendFn send) {
+    bool any = false;
+    uint64_t sent = 0;
+    while (!outgoing_.empty()) {
+      OutgoingChunk& oc = outgoing_.front();
+      uint64_t size = oc.frame.WireSize();
+      if (any && budget_bytes != 0 && sent + size > budget_bytes) break;
+      T t = oc.t;
+      bool release = oc.release_after;
+      send(t, std::move(oc.frame));
+      outgoing_.pop_front();
+      sent += size;
+      any = true;
+      if (release) ctx.Release(t);
+    }
+    return any;
+  }
+
+  bool idle() const {
+    return pending_.empty() && migrations_.empty() && outgoing_.empty();
+  }
   size_t pending_updates() const { return pending_.size(); }
   size_t pending_migrations() const { return migrations_.size(); }
+  size_t queued_chunks() const { return outgoing_.size(); }
 
  private:
+  /// A chunk frame awaiting emission at time t; `release_after` marks the
+  /// final frame of everything migrating at t.
+  struct OutgoingChunk {
+    T t;
+    BinChunk frame;
+    bool release_after;
+  };
+
   RoutingTable<T> routing_;
   uint32_t me_;
   std::map<T, std::vector<ControlInst>> pending_;
   std::map<T, std::vector<std::pair<BinId, uint32_t>>> migrations_;
+  std::deque<OutgoingChunk> outgoing_;
 };
 
 }  // namespace megaphone

@@ -8,3 +8,4 @@
 #include "megaphone/controller.hpp"  // IWYU pragma: export
 #include "megaphone/stateful.hpp"    // IWYU pragma: export
 #include "megaphone/strategies.hpp"  // IWYU pragma: export
+#include "state/state.hpp"           // IWYU pragma: export

@@ -9,14 +9,20 @@
 //     change). F also initiates migrations: a configuration update at time
 //     t is executed once the S output frontier reaches t — at that point
 //     every record before t has been applied — by uninstalling the bin
-//     from the co-located S, serializing it, and shipping it at time t on
-//     the state channel.
+//     from the co-located S and shipping it at time t on the state
+//     channel. With Config::chunk_bytes set, the bin leaves as a sequence
+//     of size-bounded BinChunk frames metered out across worker steps
+//     under Config::chunk_bytes_per_step (flow control), interleaved with
+//     data processing; F keeps its capability at t until the last frame
+//     has gone out, so the frontier argument is unchanged.
 //
-//   * S hosts the bins. It installs received state immediately, stashes
-//     incoming records per (time, bin), and applies them in timestamp
-//     order once the time is in advance of neither the data-input nor the
-//     state-input frontier. Post-dated records scheduled by the user logic
-//     live inside the bin and migrate with it.
+//   * S hosts the bins. It installs received state immediately — chunked
+//     state incrementally, frame by frame, through the migratable-state
+//     layer (src/state/) — stashes incoming records per (time, bin), and
+//     applies them in timestamp order once the time is in advance of
+//     neither the data-input nor the state-input frontier. Post-dated
+//     records scheduled by the user logic live inside the bin and migrate
+//     with it.
 //
 // Capability discipline: F retains a capability at every buffered control
 // or data time (so S frontiers cannot outrun a planned migration), and S
@@ -27,6 +33,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -71,9 +78,36 @@ struct Config {
   /// Byte throttle on the state channel, modelling network bandwidth
   /// (0 = unthrottled). See DESIGN.md substitutions.
   uint64_t state_bytes_per_sec = 0;
+  /// Maximum payload bytes per state chunk frame. 0 = monolithic: each
+  /// migrating bin ships as one frame, the pre-chunking behavior. With a
+  /// bound, F ships every bin as a sequence of ~chunk_bytes frames and S
+  /// installs them incrementally (src/state/), so the per-frame stall on
+  /// worker and wire is bounded by the chunk size, not the bin size.
+  uint64_t chunk_bytes = 0;
+  /// Per-worker-step budget on chunk payload bytes leaving F — the flow
+  /// control that interleaves state movement with data processing. 0 =
+  /// default 4 * chunk_bytes (unbounded when chunking is off).
+  uint64_t chunk_bytes_per_step = 0;
   /// Operator name (diagnostics).
   std::string name = "Stateful";
+
+  uint64_t ChunkStepBudget() const {
+    if (chunk_bytes_per_step != 0) return chunk_bytes_per_step;
+    return chunk_bytes == 0 ? 0 : 4 * chunk_bytes;
+  }
 };
+
+/// Process-wide counters of state-chunk frames emitted by every F
+/// instance; the bench harness snapshots them around migration windows to
+/// report per-migration chunk traffic.
+struct ChunkCounters {
+  std::atomic<uint64_t> frames{0};
+  std::atomic<uint64_t> bytes{0};
+};
+inline ChunkCounters& chunk_counters() {
+  static ChunkCounters c;
+  return c;
+}
 
 /// A record in flight from F to S, tagged with its destination worker and
 /// bin. Carrying the bin id saves S from recomputing the key function on
@@ -184,24 +218,59 @@ std::optional<T> CompactionHorizon(const timely::Antichain<T>& a,
   return timely::TimestampTraits<T>::LessEqual(ta, tb) ? ta : tb;
 }
 
-/// Extracts `bin` from the shared container for migration: unregisters its
-/// pending times, serializes it, and clears the slot. Returns nullopt for
-/// non-resident (empty) bins — there is nothing to move; the target
-/// creates the bin lazily.
-template <typename BinT, typename T, typename PendingTimesFn>
-std::optional<std::vector<uint8_t>> ExtractBin(BinsShared<BinT, T>& shared,
-                                               BinId bin,
-                                               PendingTimesFn pending_times) {
-  auto& slot = shared.bins[bin];
-  if (!slot) return std::nullopt;
-  pending_times(*slot, [&](const T& t) {
-    auto it = shared.pending_bins.find(t);
-    if (it != shared.pending_bins.end()) it->second.erase(bin);
-    // Empty sets are left for S to erase and release its capability.
-  });
-  std::vector<uint8_t> bytes = EncodeToBytes(*slot);
-  slot.reset();
-  return bytes;
+/// One bin mid-absorption at S: the partially installed bin plus the next
+/// expected chunk sequence number (frames of one migration arrive in
+/// order on the FIFO state channel).
+template <typename BinT>
+struct AbsorbingBin {
+  std::unique_ptr<BinT> bin;
+  uint32_t next_seq = 0;
+};
+
+/// Installs one received chunk frame into the partial-bin set, finalizing
+/// residency — and registering the bin's pending times through `hold` —
+/// at the last frame. Shared by the unary and binary S.
+template <typename BinT, typename T, typename HoldFn>
+void AbsorbChunkFrame(BinsShared<BinT, T>& shared,
+                      std::map<BinId, AbsorbingBin<BinT>>& absorbing,
+                      BinChunk& m, uint32_t worker, HoldFn hold) {
+  MEGA_CHECK_EQ(m.target, worker);
+  auto& ab = absorbing[m.bin];
+  if (!ab.bin) {
+    MEGA_CHECK(!shared.bins[m.bin])
+        << "received state for an already-resident bin";
+    ab.bin = std::make_unique<BinT>();
+    ab.next_seq = 0;
+  }
+  MEGA_CHECK_EQ(m.seq, ab.next_seq) << "state chunk out of order";
+  ab.next_seq++;
+  Reader r(m.bytes);
+  ab.bin->AbsorbChunk(r, m.last != 0);
+  if (m.last != 0) {
+    ab.bin->ForEachPendingTime([&](const T& tp) {
+      shared.RegisterPending(tp, m.bin);
+      hold(tp);
+    });
+    shared.bins[m.bin] = std::move(ab.bin);
+    absorbing.erase(m.bin);
+  }
+}
+
+/// Emits F's queued chunk frames under the per-step flow-control budget,
+/// counting them into the process-wide chunk counters. Shared by the
+/// unary and binary F.
+template <typename T>
+void FlushStateChunks(ControlState<T>& cs, timely::OpCtx<T>& ctx,
+                      const Config& cfg,
+                      timely::OutputHandle<BinChunk, T>* state_out) {
+  cs.FlushChunks(ctx, cfg.ChunkStepBudget(),
+                 [&](const T& t, BinChunk&& frame) {
+                   chunk_counters().frames.fetch_add(
+                       1, std::memory_order_relaxed);
+                   chunk_counters().bytes.fetch_add(
+                       frame.WireSize(), std::memory_order_relaxed);
+                   state_out->Send(t, std::move(frame));
+                 });
 }
 
 }  // namespace detail
@@ -245,10 +314,10 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
   auto* ctrl_in = fb.AddInput(control, Pact<ControlInst>::Broadcast());
   auto* data_in = fb.AddInput(data, Pact<D>::Pipeline());
   auto [routed_out, routed_stream] = fb.template AddOutput<Routed<D>>();
-  auto [state_out, state_stream] = fb.template AddOutput<BinMigration>();
+  auto [state_out, state_stream] = fb.template AddOutput<BinChunk>();
   if (cfg.state_bytes_per_sec != 0) {
     state_out->SetThrottle(cfg.state_bytes_per_sec,
-                           [](const BinMigration& m) { return m.WireSize(); });
+                           [](const BinChunk& m) { return m.WireSize(); });
   }
 
   struct FState {
@@ -333,22 +402,21 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
     }
 
     // 5. Initiate migrations whose time has been reached by the S output
-    //    frontier: every record before that time has been applied.
+    //    frontier: every record before that time has been applied. The
+    //    extracted bins become queued chunk frames; the flush below meters
+    //    them onto the state channel under the per-step byte budget, so a
+    //    large bin never stalls a worker step for its full size.
     fs->cs.RunReadyMigrations(
         ctx,
         [&](const T& t) {
           MEGA_CHECK(probe_slot->valid());
           return !probe_slot->LessThan(t);
         },
-        [&](const T& t, BinId b, uint32_t target) {
-          auto bytes = detail::ExtractBin(
-              *shared, b, [](BinT& bin, auto unregister) {
-                for (const auto& [tp, _] : bin.pending) unregister(tp);
-              });
-          if (bytes) {
-            state_out->Send(t, BinMigration{target, b, std::move(*bytes)});
-          }
+        [&](const T&, BinId b, uint32_t target) {
+          return detail::ExtractBinChunks(*shared, b, target,
+                                          cfg.chunk_bytes);
         });
+    detail::FlushStateChunks(fs->cs, ctx, cfg, state_out);
 
     // 6. Periodically drop routing-table versions behind both frontiers.
     if ((++fs->steps & 63) == 0) {
@@ -365,7 +433,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
       Pact<Routed<D>>::Route([](const Routed<D>& r) { return r.target; }));
   auto* s_state_in = sb.AddInput(
       state_stream,
-      Pact<BinMigration>::Route([](const BinMigration& m) { return m.target; }));
+      Pact<BinChunk>::Route([](const BinChunk& m) { return m.target; }));
   auto [out, out_stream] = sb.template AddOutput<R>();
 
   struct SState {
@@ -374,6 +442,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
     std::set<T> held;
     std::vector<BinId> bins_scratch;
     std::vector<D> recs_scratch;  // bins with only post-dated records
+    std::map<BinId, detail::AbsorbingBin<BinT>> absorbing;
   };
   auto ss = std::make_shared<SState>();
 
@@ -386,18 +455,15 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
     };
 
     // 1. Install migrated state immediately (paper §3.4: "S immediately
-    //    installs any received state").
-    s_state_in->ForEach([&](const T&, std::vector<BinMigration>& ms) {
+    //    installs any received state") — chunk by chunk: each frame is
+    //    absorbed on arrival, and the bin becomes resident (its pending
+    //    times registered) at the final frame. Safe because records for
+    //    the bin at ≥ t stay stashed until the state frontier passes t,
+    //    which cannot happen before F releases t after the last frame.
+    s_state_in->ForEach([&](const T&, std::vector<BinChunk>& ms) {
       for (auto& m : ms) {
-        MEGA_CHECK_EQ(m.target, ctx.worker());
-        auto bin = std::make_unique<BinT>(DecodeFromBytes<BinT>(m.bytes));
-        MEGA_CHECK(!shared->bins[m.bin])
-            << "received state for an already-resident bin";
-        for (const auto& [tp, _] : bin->pending) {
-          shared->RegisterPending(tp, m.bin);
-          hold(tp);
-        }
-        shared->bins[m.bin] = std::move(bin);
+        detail::AbsorbChunkFrame(*shared, ss->absorbing, m, ctx.worker(),
+                                 hold);
       }
     });
 
@@ -479,7 +545,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
         }
         detail::SchedulerImpl<BinT, D, T, &BinT::pending> sched(
             shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
-        fold(*t, slot->state, *recs,
+        fold(*t, slot->user_state(), *recs,
              [&](R r) { out->Send(*t, std::move(r)); }, sched);
         recs->clear();  // slot capacity stays with the pooled stash
       }
@@ -556,10 +622,10 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
   auto* data2_in = fb.AddInput(data2, Pact<D2>::Pipeline());
   auto [routed1_out, routed1_stream] = fb.template AddOutput<Routed<D1>>();
   auto [routed2_out, routed2_stream] = fb.template AddOutput<Routed<D2>>();
-  auto [state_out, state_stream] = fb.template AddOutput<BinMigration>();
+  auto [state_out, state_stream] = fb.template AddOutput<BinChunk>();
   if (cfg.state_bytes_per_sec != 0) {
     state_out->SetThrottle(cfg.state_bytes_per_sec,
-                           [](const BinMigration& m) { return m.WireSize(); });
+                           [](const BinChunk& m) { return m.WireSize(); });
   }
 
   struct FState {
@@ -657,16 +723,11 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
           MEGA_CHECK(probe_slot->valid());
           return !probe_slot->LessThan(t);
         },
-        [&](const T& t, BinId b, uint32_t target) {
-          auto bytes = detail::ExtractBin(
-              *shared, b, [](BinT& bin, auto unregister) {
-                for (const auto& [tp, _] : bin.pending1) unregister(tp);
-                for (const auto& [tp, _] : bin.pending2) unregister(tp);
-              });
-          if (bytes) {
-            state_out->Send(t, BinMigration{target, b, std::move(*bytes)});
-          }
+        [&](const T&, BinId b, uint32_t target) {
+          return detail::ExtractBinChunks(*shared, b, target,
+                                          cfg.chunk_bytes);
         });
+    detail::FlushStateChunks(fs->cs, ctx, cfg, state_out);
 
     if ((++fs->steps & 63) == 0) {
       auto horizon = detail::CompactionHorizon(ctrl_in->frontier(),
@@ -689,7 +750,7 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
       Pact<Routed<D2>>::Route([](const Routed<D2>& r) { return r.target; }));
   auto* s_state_in = sb.AddInput(
       state_stream,
-      Pact<BinMigration>::Route([](const BinMigration& m) { return m.target; }));
+      Pact<BinChunk>::Route([](const BinChunk& m) { return m.target; }));
   auto [out, out_stream] = sb.template AddOutput<R>();
 
   struct SState {
@@ -701,6 +762,7 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
     std::vector<BinId> bins_scratch;
     std::vector<D1> recs1_scratch;
     std::vector<D2> recs2_scratch;
+    std::map<BinId, detail::AbsorbingBin<BinT>> absorbing;
   };
   auto ss = std::make_shared<SState>();
 
@@ -712,21 +774,11 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
       }
     };
 
-    s_state_in->ForEach([&](const T&, std::vector<BinMigration>& ms) {
+    // Chunk-by-chunk installation, shared with the unary S.
+    s_state_in->ForEach([&](const T&, std::vector<BinChunk>& ms) {
       for (auto& m : ms) {
-        MEGA_CHECK_EQ(m.target, ctx.worker());
-        auto bin = std::make_unique<BinT>(DecodeFromBytes<BinT>(m.bytes));
-        MEGA_CHECK(!shared->bins[m.bin])
-            << "received state for an already-resident bin";
-        for (const auto& [tp, _] : bin->pending1) {
-          shared->RegisterPending(tp, m.bin);
-          hold(tp);
-        }
-        for (const auto& [tp, _] : bin->pending2) {
-          shared->RegisterPending(tp, m.bin);
-          hold(tp);
-        }
-        shared->bins[m.bin] = std::move(bin);
+        detail::AbsorbChunkFrame(*shared, ss->absorbing, m, ctx.worker(),
+                                 hold);
       }
     });
 
@@ -830,7 +882,7 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
           void Schedule1(const T& t2, D1 r) { s1.ScheduleAt(t2, std::move(r)); }
           void Schedule2(const T& t2, D2 r) { s2.ScheduleAt(t2, std::move(r)); }
         } scheds{sched1, sched2};
-        fold(*t, slot->state, *recs1, *recs2,
+        fold(*t, slot->user_state(), *recs1, *recs2,
              [&](R r) { out->Send(*t, std::move(r)); }, scheds);
         recs1->clear();
         recs2->clear();

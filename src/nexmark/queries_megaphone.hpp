@@ -1,8 +1,12 @@
 // Megaphone implementations of the eight NEXMark queries (paper §5.1):
 // the same query logic as queries_native.hpp, expressed through the
-// migratable stateful operator interface. State lives in bins and can be
-// migrated live; window triggers are post-dated records that migrate with
-// their bin.
+// migratable stateful operator interface. State lives in bins on the
+// migratable-state layer (src/state/): keyed join/aggregate state is a
+// state::MapState, small ordered aggregates (categories, sellers) use
+// state::SortedState — so every query migrates as size-bounded chunks
+// absorbed incrementally, with no per-query serde or bin plumbing (plain
+// aggregate per-key values declare their fields with MEGA_SERDE_FIELDS).
+// Window triggers are post-dated records that migrate with their bin.
 //
 // The `// [Qn-mega-begin/end]` markers delimit each query's implementation
 // for the Table 1 lines-of-code comparison.
@@ -36,6 +40,8 @@ Config MegaConfig(const QueryConfig& cfg, const char* name) {
   Config m;
   m.num_bins = cfg.num_bins;
   m.state_bytes_per_sec = cfg.state_bytes_per_sec;
+  m.chunk_bytes = cfg.chunk_bytes;
+  m.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
   m.name = name;
   (void)sizeof(T);
   return m;
@@ -88,7 +94,7 @@ StatefulOutput<Q3Out, T> Q3Mega(timely::Stream<ControlInst, T> control,
   auto auctions = timely::Filter(in.auctions, [cfg](const Auction& a) {
     return a.category == cfg.q3_category;
   });
-  using State = std::unordered_map<
+  using State = megaphone::state::MapState<
       uint64_t, std::pair<std::optional<Person>, std::vector<uint64_t>>>;
   return megaphone::Binary<State, Q3Out>(
       control, people, auctions,
@@ -130,7 +136,7 @@ StatefulOutput<ClosedAuction, T> ClosedAuctionsMega(
     timely::Stream<ControlInst, T> control, NexmarkStreams<T>& in,
     const QueryConfig& cfg) {
   constexpr uint64_t kClose = ~uint64_t{0};  // marker: initial_bid = kClose
-  using State = std::unordered_map<uint64_t, Q46Open>;
+  using State = megaphone::state::MapState<uint64_t, Q46Open>;
   return megaphone::Binary<State, ClosedAuction>(
       control, in.auctions, in.bids,
       [](const Auction& a) { return HashMix64(a.id); },
@@ -174,7 +180,10 @@ StatefulOutput<Q4Out, T> Q4Mega(timely::Stream<ControlInst, T> control,
                                 NexmarkStreams<T>& in,
                                 const QueryConfig& cfg) {
   auto closed = ClosedAuctionsMega(control, in, cfg);
-  using State = std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>>;
+  // Categories are few and ordered: the sorted backend migrates them as
+  // sorted runs with O(1) hinted ingest per entry.
+  using State =
+      megaphone::state::SortedState<uint32_t, std::pair<uint64_t, uint64_t>>;
   return megaphone::Unary<State, Q4Out>(
       control, closed.stream,
       [](const ClosedAuction& c) { return HashMix64(c.category); },
@@ -199,17 +208,7 @@ StatefulOutput<Q4Out, T> Q4Mega(timely::Stream<ControlInst, T> control,
 struct Q5PerAuction {
   std::map<uint64_t, uint64_t> slots;  // slice -> bid count
   uint64_t next_flush = 0;             // 0 = no flush scheduled
-
-  void Serialize(megaphone::Writer& w) const {
-    megaphone::Encode(w, slots);
-    megaphone::Encode(w, next_flush);
-  }
-  static Q5PerAuction Deserialize(megaphone::Reader& r) {
-    Q5PerAuction s;
-    s.slots = megaphone::Decode<std::map<uint64_t, uint64_t>>(r);
-    s.next_flush = megaphone::Decode<uint64_t>(r);
-    return s;
-  }
+  MEGA_SERDE_FIELDS(Q5PerAuction, slots, next_flush)
 };
 template <typename T>
 StatefulOutput<Q5Out, T> Q5Mega(timely::Stream<ControlInst, T> control,
@@ -218,7 +217,7 @@ StatefulOutput<Q5Out, T> Q5Mega(timely::Stream<ControlInst, T> control,
   constexpr uint64_t kFlush = ~uint64_t{0};  // marker: bidder = kFlush
   const uint64_t slide = cfg.q5_slide_ms, slices = cfg.q5_slices;
   using Partial = std::tuple<uint64_t, uint64_t, uint64_t>;
-  using S1 = std::unordered_map<uint64_t, Q5PerAuction>;
+  using S1 = megaphone::state::MapState<uint64_t, Q5PerAuction>;
   auto partials = megaphone::Unary<S1, Partial>(
       control, in.bids, [](const Bid& b) { return HashMix64(b.auction); },
       [slide, slices](const T& t, S1& state, std::vector<Bid>& bs, auto emit,
@@ -288,7 +287,9 @@ StatefulOutput<Q6Out, T> Q6Mega(timely::Stream<ControlInst, T> control,
                                 NexmarkStreams<T>& in,
                                 const QueryConfig& cfg) {
   auto closed = ClosedAuctionsMega(control, in, cfg);
-  using State = std::unordered_map<uint64_t, std::vector<uint64_t>>;
+  // Seller -> last-ten ring; sorted for the same reason as Q4.
+  using State =
+      megaphone::state::SortedState<uint64_t, std::vector<uint64_t>>;
   return megaphone::Unary<State, Q6Out>(
       control, closed.stream,
       [](const ClosedAuction& c) { return HashMix64(c.seller); },
@@ -367,28 +368,14 @@ struct Q8PerPerson {
   /// same-time race: an auction bundle can be processed ahead of the
   /// person bundle it joins with). Flushed when the person arrives.
   std::vector<uint64_t> pending;
-
-  void Serialize(megaphone::Writer& w) const {
-    megaphone::Encode(w, window);
-    megaphone::Encode(w, name);
-    megaphone::Encode(w, emitted);
-    megaphone::Encode(w, pending);
-  }
-  static Q8PerPerson Deserialize(megaphone::Reader& r) {
-    Q8PerPerson s;
-    s.window = megaphone::Decode<uint64_t>(r);
-    s.name = megaphone::Decode<std::string>(r);
-    s.emitted = megaphone::Decode<uint64_t>(r);
-    s.pending = megaphone::Decode<std::vector<uint64_t>>(r);
-    return s;
-  }
+  MEGA_SERDE_FIELDS(Q8PerPerson, window, name, emitted, pending)
 };
 template <typename T>
 StatefulOutput<Q8Out, T> Q8Mega(timely::Stream<ControlInst, T> control,
                                 NexmarkStreams<T>& in,
                                 const QueryConfig& cfg) {
   const uint64_t window = cfg.q8_window_ms;
-  using State = std::unordered_map<uint64_t, Q8PerPerson>;
+  using State = megaphone::state::MapState<uint64_t, Q8PerPerson>;
   return megaphone::Binary<State, Q8Out>(
       control, in.persons, in.auctions,
       [](const Person& p) { return HashMix64(p.id); },

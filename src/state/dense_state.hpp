@@ -1,0 +1,90 @@
+// DenseState: the dense-vector state backend behind the paper's "key
+// count" workloads — per-slot values indexed by the key's low bits.
+// Migration chunks are offset-tagged slices ([u64 offset][values...]), so
+// a multi-megabyte bin ships as many bounded frames and the receiver
+// reassembles in place with no decode spike at the end.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+#include "state/migratable.hpp"
+
+namespace megaphone {
+namespace state {
+
+template <typename V>
+class DenseState {
+ public:
+  using Raw = std::vector<V>;
+
+  // Container interface: a drop-in for the vector it wraps. operator[]
+  // stays a bare indexed load — this backend sits on the key-count hot
+  // path.
+  V& operator[](size_t i) { return values_[i]; }
+  const V& operator[](size_t i) const { return values_[i]; }
+  void resize(size_t n) { values_.resize(n); }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  V* data() { return values_.data(); }
+  const V* data() const { return values_.data(); }
+  void clear() { values_.clear(); }
+  Raw& raw() { return values_; }
+  const Raw& raw() const { return values_; }
+
+  friend bool operator==(const DenseState& a, const DenseState& b) {
+    return a.values_ == b.values_;
+  }
+
+  // Serde (monolithic path): identical to the wrapped vector's encoding.
+  void Serialize(Writer& w) const { Encode(w, values_); }
+  static DenseState Deserialize(Reader& r) {
+    DenseState s;
+    s.values_ = Decode<Raw>(r);
+    return s;
+  }
+
+  // Migratable-state chunk interface: [u64 offset][entries to end].
+  void EnumerateChunks(size_t max_bytes, const ChunkEmit& emit) const {
+    size_t off = 0;
+    while (off < values_.size()) {
+      Writer w;
+      uint64_t off64 = off;
+      w.WriteBytes(&off64, sizeof(off64));
+      while (off < values_.size()) {
+        Encode(w, values_[off]);
+        ++off;
+        if (max_bytes != 0 && w.size() >= max_bytes) break;
+      }
+      emit(w.Take());
+    }
+  }
+  void AbsorbChunk(Reader& r) {
+    uint64_t off;
+    r.ReadBytes(&off, sizeof(off));
+    size_t idx = static_cast<size_t>(off);
+    // Chunks arrive in offset order; a gap means a corrupt frame.
+    if (idx > values_.size()) {
+      throw SerdeError("dense state chunk leaves a gap");
+    }
+    while (!r.AtEnd()) {
+      V v = Decode<V>(r);
+      if (idx < values_.size()) {
+        values_[idx] = std::move(v);
+      } else {
+        values_.push_back(std::move(v));  // geometric growth amortizes
+      }
+      ++idx;
+    }
+  }
+  void FinishAbsorb() {}
+
+ private:
+  Raw values_;
+};
+
+}  // namespace state
+}  // namespace megaphone

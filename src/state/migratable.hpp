@@ -1,0 +1,177 @@
+// The migratable-state layer: what a bin's user state must provide so the
+// runtime can move it latency-consciously.
+//
+// Megaphone's migration unit is the bin (paper §4.2), but the *cost* of
+// moving a bin is set by how its state serializes: a monolithic blob
+// stalls the worker and the wire for the whole bin size (the fig. 15
+// large-state spike). A MigratableState instead exposes its content as a
+// stream of size-bounded, independently absorbable chunks, so operator F
+// can ship a bin as many small frames interleaved with data processing and
+// operator S can install it incrementally.
+//
+// A state backend provides:
+//
+//   void Serialize(Writer&) const / static S Deserialize(Reader&)
+//       — whole-value serde, used by the monolithic path (chunking off)
+//         and by tests comparing backends;
+//   void EnumerateChunks(size_t max_bytes, const ChunkEmit& emit) const
+//       — emit the content as payloads of ~max_bytes each, cut only at
+//         entry boundaries (a chunk may exceed max_bytes by one entry);
+//   void AbsorbChunk(Reader& r)
+//       — install one previously emitted payload (chunks of one
+//         extraction arrive exactly once, in emission order);
+//   void FinishAbsorb()
+//       — called after the last chunk; backends that buffer (BlobState)
+//         decode here, entry-granular backends do nothing.
+//
+// Backends shipped here: MapState (flat hash map, the current default),
+// SortedState (ordered map migrating as sorted runs), DenseState (dense
+// vector migrating as offset-tagged slices), and BlobState (adapter giving
+// any serde-able type the chunk interface by slicing its encoding).
+// BackendFor<S> picks the backend for a user-declared state type S, so
+// existing operators over std::unordered_map / std::map / std::vector
+// become chunk-aware without source changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/serde.hpp"
+
+namespace megaphone {
+namespace state {
+
+/// Receives one chunk payload during EnumerateChunks.
+using ChunkEmit = std::function<void(std::vector<uint8_t>&&)>;
+
+/// A state type the runtime can migrate chunk by chunk.
+template <typename S>
+concept ChunkableState =
+    Serializable<S> && std::default_initializable<S> &&
+    requires(const S cs, S s, size_t n, const ChunkEmit& emit, Reader& r) {
+      { cs.EnumerateChunks(n, emit) };
+      { s.AbsorbChunk(r) };
+      { s.FinishAbsorb() };
+    };
+
+/// Assembles section-framed chunk payloads: a frame is a sequence of
+/// [u8 tag][u64 len][len bytes] sections, cut into frames of roughly
+/// `max_bytes` (0 = unbounded: everything lands in one frame). Sections
+/// are never split — the slicing helper below bounds section size first —
+/// so a frame exceeds the bound by at most one section.
+class ChunkBuilder {
+ public:
+  ChunkBuilder(size_t max_bytes, std::vector<std::vector<uint8_t>>* out)
+      : max_(max_bytes == 0 ? std::numeric_limits<size_t>::max() : max_bytes),
+        out_(out) {}
+
+  void AddSection(uint8_t tag, const uint8_t* data, size_t n) {
+    if (w_.size() > 0 && w_.size() + n + kSectionHeader > max_) Cut();
+    w_.WriteBytes(&tag, 1);
+    uint64_t len = n;
+    w_.WriteBytes(&len, sizeof(len));
+    w_.WriteBytes(data, n);
+    if (w_.size() >= max_) Cut();
+  }
+  void AddSection(uint8_t tag, const std::vector<uint8_t>& bytes) {
+    AddSection(tag, bytes.data(), bytes.size());
+  }
+
+  /// Adds an opaque byte stream as a run of sections of at most max_bytes
+  /// each; the absorber reassembles them by concatenation. Empty streams
+  /// add nothing.
+  void AddSectionSliced(uint8_t tag, const std::vector<uint8_t>& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      size_t take = std::min(bytes.size() - off, max_);
+      AddSection(tag, bytes.data() + off, take);
+      off += take;
+    }
+  }
+
+  /// Seals the final frame.
+  void Finish() { Cut(); }
+
+  static constexpr size_t kSectionHeader = 1 + sizeof(uint64_t);
+
+ private:
+  void Cut() {
+    if (w_.size() > 0) {
+      out_->push_back(w_.Take());
+      w_ = Writer();
+    }
+  }
+
+  size_t max_;
+  std::vector<std::vector<uint8_t>>* out_;
+  Writer w_;
+};
+
+/// Reads the section stream of one frame payload: calls
+/// `on_section(tag, sub_reader)` per section, where the sub-reader covers
+/// exactly that section's bytes.
+template <typename Fn>
+void ForEachSection(Reader& r, Fn on_section) {
+  while (!r.AtEnd()) {
+    uint8_t tag;
+    r.ReadBytes(&tag, 1);
+    uint64_t len = r.ReadCount(1);
+    Reader sec = r.Sub(static_cast<size_t>(len));
+    on_section(tag, sec);
+  }
+}
+
+/// Adapter giving any serde-able S the chunk interface: chunks are slices
+/// of the whole-value encoding, buffered on the receiver and decoded once
+/// the last chunk has arrived. Wire frames stay size-bounded (the flow
+///-control property), but installation is deferred — entry-granular
+/// backends are strictly better when the type allows one.
+template <typename S>
+struct BlobState {
+  S value{};
+
+  void Serialize(Writer& w) const { Encode(w, value); }
+  static BlobState Deserialize(Reader& r) {
+    BlobState b;
+    b.value = Decode<S>(r);
+    return b;
+  }
+
+  void EnumerateChunks(size_t max_bytes, const ChunkEmit& emit) const {
+    std::vector<uint8_t> bytes = EncodeToBytes(value);
+    size_t cap = max_bytes == 0 ? bytes.size() : max_bytes;
+    size_t off = 0;
+    while (off < bytes.size()) {
+      size_t take = std::min(bytes.size() - off, cap);
+      emit(std::vector<uint8_t>(bytes.begin() + static_cast<long>(off),
+                                bytes.begin() + static_cast<long>(off + take)));
+      off += take;
+    }
+  }
+  void AbsorbChunk(Reader& r) {
+    size_t n = r.remaining();
+    size_t old = absorb_buf_.size();
+    absorb_buf_.resize(old + n);
+    r.ReadBytes(absorb_buf_.data() + old, n);
+  }
+  void FinishAbsorb() {
+    if (!absorb_buf_.empty()) {
+      value = DecodeFromBytes<S>(absorb_buf_);
+      absorb_buf_.clear();
+      absorb_buf_.shrink_to_fit();
+    }
+  }
+
+ private:
+  std::vector<uint8_t> absorb_buf_;  // chunk bytes awaiting the last chunk
+};
+
+}  // namespace state
+}  // namespace megaphone

@@ -300,7 +300,7 @@ TEST(MegaphoneExtra, BinsSharedAccounting) {
   BinsShared<BinT, uint64_t> shared(4);
   EXPECT_EQ(shared.ResidentBins(), 0u);
   shared.bins[1] = std::make_unique<BinT>();
-  shared.bins[1]->state = 99;
+  shared.bins[1]->user_state() = 99;
   shared.bins[1]->pending[7].push_back(42);
   shared.bins[3] = std::make_unique<BinT>();
   EXPECT_EQ(shared.ResidentBins(), 2u);
@@ -309,24 +309,63 @@ TEST(MegaphoneExtra, BinsSharedAccounting) {
   EXPECT_FALSE(shared.RegisterPending(7, 3));  // known time, new bin
 
   // Extracting a bin unregisters its pending times and clears the slot.
-  auto bytes = detail::ExtractBin(shared, 1, [](BinT& bin, auto unregister) {
-    for (const auto& [tp, _] : bin.pending) unregister(tp);
-  });
-  ASSERT_TRUE(bytes.has_value());
+  // chunk_bytes == 0: the monolithic path, exactly one frame.
+  auto frames = detail::ExtractBinChunks(shared, 1, /*target=*/2,
+                                         /*chunk_bytes=*/0);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].target, 2u);
+  EXPECT_EQ(frames[0].bin, 1u);
+  EXPECT_EQ(frames[0].seq, 0u);
+  EXPECT_NE(frames[0].last, 0);
   EXPECT_EQ(shared.ResidentBins(), 1u);
   EXPECT_FALSE(shared.bins[1]);
   EXPECT_EQ(shared.pending_bins[7].count(1), 0u);
   EXPECT_EQ(shared.pending_bins[7].count(3), 1u);
 
-  // The serialized bin round-trips with state and pending records.
-  auto back = DecodeFromBytes<BinT>(*bytes);
-  EXPECT_EQ(back.state, 99u);
+  // The shipped bin round-trips with state and pending records.
+  BinT back;
+  Reader r(frames[0].bytes);
+  back.AbsorbChunk(r, /*last=*/true);
+  EXPECT_EQ(back.user_state(), 99u);
   ASSERT_EQ(back.pending[7].size(), 1u);
   EXPECT_EQ(back.pending[7][0], 42u);
 
   // Extracting a non-resident bin yields nothing to ship.
-  auto none = detail::ExtractBin(shared, 0, [](BinT&, auto) {});
-  EXPECT_FALSE(none.has_value());
+  EXPECT_TRUE(detail::ExtractBinChunks(shared, 0, 2, 0).empty());
+}
+
+TEST(MegaphoneExtra, ChunkedExtractionRebuildsTheSameBin) {
+  using BinT = Bin<std::unordered_map<uint64_t, uint64_t>, uint64_t, uint64_t>;
+  BinsShared<BinT, uint64_t> shared(2);
+  shared.bins[0] = std::make_unique<BinT>();
+  auto& st = shared.bins[0]->user_state();
+  for (uint64_t k = 0; k < 500; ++k) st[k] = k * 3;
+  shared.bins[0]->pending[11] = {1, 2, 3};
+  shared.bins[0]->pending[12] = {4};
+  shared.RegisterPending(11, 0);
+  shared.RegisterPending(12, 0);
+
+  auto frames = detail::ExtractBinChunks(shared, 0, /*target=*/1,
+                                         /*chunk_bytes=*/256);
+  ASSERT_GT(frames.size(), 2u) << "500 entries at 256-byte chunks";
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].seq, i);
+    EXPECT_EQ(frames[i].last != 0, i + 1 == frames.size());
+    if (i + 1 < frames.size()) {
+      EXPECT_LE(frames[i].bytes.size(),
+                256 + 64u) << "chunk far above the byte bound";
+    }
+  }
+
+  BinT back;
+  for (auto& f : frames) {
+    Reader r(f.bytes);
+    back.AbsorbChunk(r, f.last != 0);
+  }
+  EXPECT_EQ(back.user_state().size(), 500u);
+  EXPECT_EQ(back.user_state()[123], 369u);
+  EXPECT_EQ(back.pending, (std::map<uint64_t, std::vector<uint64_t>>{
+                              {11, {1, 2, 3}}, {12, {4}}}));
 }
 
 TEST(MegaphoneExtra, PlanBatchesEmptyDiff) {

@@ -69,7 +69,9 @@ RunResult RunMigratingWordCount(uint32_t workers, uint32_t num_bins,
                                 MigrationStrategy strategy, size_t batch_size,
                                 uint64_t gap, uint64_t epochs,
                                 uint64_t recs_per_epoch, uint64_t num_keys,
-                                uint64_t seed, std::vector<MigSpec> migs) {
+                                uint64_t seed, std::vector<MigSpec> migs,
+                                uint64_t chunk_bytes = 0,
+                                uint64_t chunk_step = 0) {
   RunResult result;
   std::mutex mu;
   Execute(timely::Config{workers}, [&](Worker& w) {
@@ -78,6 +80,8 @@ RunResult RunMigratingWordCount(uint32_t workers, uint32_t num_bins,
       auto [data_in, data_stream] = NewInput<uint64_t>(s);
       Config cfg;
       cfg.num_bins = num_bins;
+      cfg.chunk_bytes = chunk_bytes;
+      cfg.chunk_bytes_per_step = chunk_step;
       cfg.name = "WordCount";
       auto out = Unary<BinState, std::pair<uint64_t, uint64_t>>(
           ctrl_stream, data_stream,
@@ -184,6 +188,28 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "_" + strat;
     });
 
+// Chunked, flow-controlled migration (tiny chunks, a budget of barely two
+// chunks per step) must be output-identical to the monolithic path, under
+// every strategy and across a rebalance-and-back schedule.
+TEST(Megaphone, ChunkedMigrationMatchesReference) {
+  const uint64_t epochs = 40, recs = 64, keys = 256, seed = 42;
+  const uint32_t workers = 4, bins = 16;
+  auto imbalanced = MakeImbalancedAssignment(bins, workers);
+  auto balanced = MakeInitialAssignment(bins, workers);
+  auto expected = ReferenceCounts(seed, epochs, recs, keys);
+  for (MigrationStrategy strategy :
+       {MigrationStrategy::kAllAtOnce, MigrationStrategy::kFluid,
+        MigrationStrategy::kBatched}) {
+    auto result = RunMigratingWordCount(
+        workers, bins, strategy, /*batch_size=*/3, /*gap=*/0, epochs, recs,
+        keys, seed, {MigSpec{10, imbalanced}, MigSpec{25, balanced}},
+        /*chunk_bytes=*/64, /*chunk_step=*/160);
+    EXPECT_EQ(result.rows, expected)
+        << "chunked run diverged, strategy " << StrategyName(strategy);
+    EXPECT_GE(result.completed_batches, 1u);
+  }
+}
+
 TEST(Megaphone, SingleWorkerNoMigration) {
   const uint64_t epochs = 10, recs = 32, keys = 64, seed = 7;
   auto result = RunMigratingWordCount(1, 16, MigrationStrategy::kAllAtOnce, 1,
@@ -269,11 +295,12 @@ TEST(Megaphone, CompletionWhenInputsCloseMidMigration) {
   EXPECT_EQ(outputs.load(), 64u);
 }
 
-TEST(Megaphone, PostDatedRecordsMigrateWithTheirBin) {
-  // The operator schedules an "echo" of each key three epochs after first
-  // sight. Bins migrate in between; every echo must still fire exactly
-  // once, at the right time, from the bin's new home (paper §3.4: migrated
-  // state includes "the list of pending (val, time) records").
+// The operator schedules an "echo" of each key three epochs after first
+// sight. Bins migrate in between; every echo must still fire exactly
+// once, at the right time, from the bin's new home (paper §3.4: migrated
+// state includes "the list of pending (val, time) records"). With
+// `chunk_bytes` set, the pending records travel as chunk sections.
+void RunPostDatedEchoTest(uint64_t chunk_bytes) {
   using Rec = std::pair<uint64_t, uint64_t>;  // (key, is_echo)
   using Out = std::tuple<uint64_t, uint64_t, uint64_t>;  // (key, echo, time)
   const uint32_t workers = 4, bins = 16;
@@ -287,6 +314,8 @@ TEST(Megaphone, PostDatedRecordsMigrateWithTheirBin) {
       auto [data_in, data_stream] = NewInput<Rec>(s);
       Config cfg;
       cfg.num_bins = bins;
+      cfg.chunk_bytes = chunk_bytes;
+      cfg.chunk_bytes_per_step = chunk_bytes * 2;
       auto out = Unary<BinState, Out>(
           ctrl_stream, data_stream,
           [](const Rec& r) { return HashMix64(r.first); },
@@ -347,9 +376,17 @@ TEST(Megaphone, PostDatedRecordsMigrateWithTheirBin) {
   }
 }
 
-TEST(Megaphone, BinaryJoinUnderMigration) {
-  // Symmetric hash join keyed by k; outputs every (a, b) pair exactly once
-  // at max(time(a), time(b)), across two migrations.
+TEST(Megaphone, PostDatedRecordsMigrateWithTheirBin) {
+  RunPostDatedEchoTest(/*chunk_bytes=*/0);
+}
+
+TEST(Megaphone, PostDatedRecordsMigrateChunked) {
+  RunPostDatedEchoTest(/*chunk_bytes=*/48);
+}
+
+// Symmetric hash join keyed by k; outputs every (a, b) pair exactly once
+// at max(time(a), time(b)), across two migrations.
+void RunBinaryJoinTest(uint64_t chunk_bytes) {
   using A = std::pair<uint64_t, uint64_t>;  // (key, a-value)
   using B = std::pair<uint64_t, uint64_t>;  // (key, b-value)
   using Out = std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>;
@@ -368,6 +405,7 @@ TEST(Megaphone, BinaryJoinUnderMigration) {
       auto [b_in, b_stream] = NewInput<B>(s);
       Config cfg;
       cfg.num_bins = bins;
+      cfg.chunk_bytes = chunk_bytes;
       cfg.name = "Join";
       auto out = Binary<JoinState, Out>(
           ctrl_stream, a_stream, b_stream,
@@ -444,6 +482,14 @@ TEST(Megaphone, BinaryJoinUnderMigration) {
   std::sort(outs.begin(), outs.end());
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(outs, expected);
+}
+
+TEST(Megaphone, BinaryJoinUnderMigration) {
+  RunBinaryJoinTest(/*chunk_bytes=*/0);
+}
+
+TEST(Megaphone, BinaryJoinUnderChunkedMigration) {
+  RunBinaryJoinTest(/*chunk_bytes=*/96);
 }
 
 TEST(Megaphone, StateMachineInterface) {

@@ -117,9 +117,11 @@ void ExpectEqual(const WireBinaryBin& a, const WireBinaryBin& b) {
   EXPECT_EQ(a.pending2, b.pending2);
 }
 
-void ExpectEqual(const BinMigration& a, const BinMigration& b) {
+void ExpectEqual(const BinChunk& a, const BinChunk& b) {
   EXPECT_EQ(a.target, b.target);
   EXPECT_EQ(a.bin, b.bin);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.last, b.last);
   EXPECT_EQ(a.bytes, b.bytes);
 }
 
@@ -167,15 +169,53 @@ TEST(SerdeFuzz, BinaryBinRoundTripAndTruncation) {
   }
 }
 
-TEST(SerdeFuzz, BinMigrationRoundTripAndTruncation) {
+TEST(SerdeFuzz, BinChunkRoundTripAndTruncation) {
   Xoshiro256 rng(11);
   for (int i = 0; i < 100; ++i) {
-    BinMigration m;
+    BinChunk m;
     m.target = static_cast<uint32_t>(rng.NextBelow(64));
     m.bin = static_cast<BinId>(rng.NextBelow(1 << 12));
+    m.seq = static_cast<uint32_t>(rng.NextBelow(128));
+    m.last = static_cast<uint8_t>(rng.NextBelow(2));
     auto payload = RandomU64s(rng, 32);
     m.bytes = EncodeToBytes(payload);
     CheckRoundTripAndTruncation(m, i < 25);
+  }
+}
+
+// Chunked extraction/absorption of a randomized BinaryBin must rebuild an
+// identical bin at every chunk size, and a corrupted chunk payload must
+// fail with SerdeError rather than UB (S decodes chunks from the wire).
+TEST(SerdeFuzz, ChunkedBinaryBinRebuildAndCorruption) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 60; ++i) {
+    auto bin = RandomBinaryBin(rng);
+    for (size_t chunk_bytes : {size_t{0}, size_t{1}, size_t{64},
+                               size_t{1} << 12}) {
+      std::vector<std::vector<uint8_t>> payloads;
+      bin.DrainChunks(chunk_bytes, payloads);
+      WireBinaryBin back;
+      for (size_t c = 0; c < payloads.size(); ++c) {
+        Reader r(payloads[c]);
+        back.AbsorbChunk(r, c + 1 == payloads.size());
+      }
+      ExpectEqual(back, bin);
+    }
+    std::vector<std::vector<uint8_t>> payloads;
+    bin.DrainChunks(48, payloads);
+    if (payloads.empty()) continue;  // empty bin: nothing to corrupt
+    auto& bytes = payloads[rng.NextBelow(payloads.size())];
+    if (bytes.empty()) continue;
+    bytes[rng.NextBelow(bytes.size())] = static_cast<uint8_t>(rng.Next());
+    try {
+      WireBinaryBin back;
+      for (size_t c = 0; c < payloads.size(); ++c) {
+        Reader r(payloads[c]);
+        back.AbsorbChunk(r, c + 1 == payloads.size());
+      }
+    } catch (const SerdeError&) {
+      // clean failure; fine
+    }
   }
 }
 

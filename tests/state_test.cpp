@@ -1,0 +1,211 @@
+// Unit tests for the migratable-state layer (src/state/): every backend
+// must round-trip through whole-value serde AND through chunked
+// enumerate/absorb at any chunk size, chunks must respect the byte bound
+// (up to one entry of slack), and the backend-selection trait must pick
+// the right backend for user-declared state types.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "state/state.hpp"
+
+namespace megaphone {
+namespace state {
+namespace {
+
+/// Rebuilds a backend from its chunk stream at the given bound.
+template <typename S>
+S ChunkRoundTrip(const S& src, size_t max_bytes,
+                 size_t* num_chunks = nullptr) {
+  std::vector<std::vector<uint8_t>> chunks;
+  src.EnumerateChunks(max_bytes, [&](std::vector<uint8_t>&& c) {
+    chunks.push_back(std::move(c));
+  });
+  if (num_chunks != nullptr) *num_chunks = chunks.size();
+  S out;
+  for (auto& c : chunks) {
+    Reader r(c);
+    out.AbsorbChunk(r);
+    EXPECT_TRUE(r.AtEnd()) << "chunk not fully absorbed";
+  }
+  out.FinishAbsorb();
+  return out;
+}
+
+TEST(MapState, SerdeAndChunkRoundTripAtEveryBound) {
+  Xoshiro256 rng(1);
+  MapState<uint64_t, std::string> m;
+  for (int i = 0; i < 700; ++i) {
+    m[rng.Next()] = std::string(rng.NextBelow(20), 'x');
+  }
+  EXPECT_EQ(DecodeFromBytes<decltype(m)>(EncodeToBytes(m)), m);
+  for (size_t bound : {size_t{0}, size_t{1}, size_t{128}, size_t{1} << 16}) {
+    EXPECT_EQ(ChunkRoundTrip(m, bound), m) << "bound=" << bound;
+  }
+  size_t chunks = 0;
+  ChunkRoundTrip(m, 256, &chunks);
+  EXPECT_GT(chunks, 10u) << "700 entries must split at a 256-byte bound";
+}
+
+TEST(MapState, EmptyStateYieldsNoChunks) {
+  MapState<uint64_t, uint64_t> m;
+  size_t chunks = ~size_t{0};
+  EXPECT_EQ(ChunkRoundTrip(m, 64, &chunks), m);
+  EXPECT_EQ(chunks, 0u);
+}
+
+TEST(SortedState, ChunksAreSortedRunsAndAbsorbInOrder) {
+  Xoshiro256 rng(2);
+  SortedState<uint64_t, uint64_t> s;
+  for (int i = 0; i < 500; ++i) s[rng.Next()] = rng.Next();
+  EXPECT_EQ(DecodeFromBytes<decltype(s)>(EncodeToBytes(s)), s);
+
+  std::vector<std::vector<uint8_t>> chunks;
+  s.EnumerateChunks(128, [&](std::vector<uint8_t>&& c) {
+    chunks.push_back(std::move(c));
+  });
+  ASSERT_GT(chunks.size(), 4u);
+  // Each chunk is a sorted run, and runs ascend across chunks: the first
+  // key of chunk i+1 exceeds the last key of chunk i.
+  uint64_t prev = 0;
+  bool first = true;
+  for (auto& c : chunks) {
+    Reader r(c);
+    while (!r.AtEnd()) {
+      uint64_t k = Decode<uint64_t>(r);
+      (void)Decode<uint64_t>(r);
+      if (!first) {
+        EXPECT_GT(k, prev) << "keys not globally sorted";
+      }
+      prev = k;
+      first = false;
+    }
+  }
+  EXPECT_EQ(ChunkRoundTrip(s, 128), s);
+}
+
+TEST(DenseState, OffsetChunksRebuildInPlace) {
+  DenseState<uint64_t> d;
+  d.resize(10'000);
+  for (size_t i = 0; i < d.size(); ++i) d[i] = i * 7;
+  EXPECT_EQ(DecodeFromBytes<decltype(d)>(EncodeToBytes(d)), d);
+  for (size_t bound : {size_t{0}, size_t{64}, size_t{4096}}) {
+    EXPECT_EQ(ChunkRoundTrip(d, bound), d) << "bound=" << bound;
+  }
+  size_t chunks = 0;
+  ChunkRoundTrip(d, 1 << 12, &chunks);
+  EXPECT_GE(chunks, 10'000 * 8 / (1 << 12)) << "80 KB at 4 KB chunks";
+}
+
+TEST(DenseState, ChunkGapIsASerdeError) {
+  DenseState<uint64_t> src;
+  src.resize(100);
+  std::vector<std::vector<uint8_t>> chunks;
+  src.EnumerateChunks(64, [&](std::vector<uint8_t>&& c) {
+    chunks.push_back(std::move(c));
+  });
+  ASSERT_GT(chunks.size(), 1u);
+  DenseState<uint64_t> out;
+  Reader r(chunks[1]);  // skipping chunk 0 leaves a gap
+  EXPECT_THROW(out.AbsorbChunk(r), SerdeError);
+}
+
+TEST(BlobState, SlicesAndReassemblesAnySerdeType) {
+  BlobState<std::map<std::string, std::vector<uint64_t>>> b;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 60; ++i) {
+    b.value[std::to_string(rng.Next())] = {rng.Next(), rng.Next()};
+  }
+  auto bytes = EncodeToBytes(b);
+  EXPECT_EQ(DecodeFromBytes<decltype(b)>(bytes).value, b.value);
+
+  size_t chunks = 0;
+  auto back = ChunkRoundTrip(b, 100, &chunks);
+  EXPECT_EQ(back.value, b.value);
+  EXPECT_GT(chunks, 2u) << "blob must slice at small bounds";
+  // Every chunk except the final one is exactly the bound (pure slices).
+  std::vector<std::vector<uint8_t>> cs;
+  b.EnumerateChunks(100, [&](std::vector<uint8_t>&& c) {
+    cs.push_back(std::move(c));
+  });
+  for (size_t i = 0; i + 1 < cs.size(); ++i) {
+    EXPECT_EQ(cs[i].size(), 100u);
+  }
+}
+
+TEST(ChunkBuilder, SectionsRespectTheFrameBound) {
+  std::vector<std::vector<uint8_t>> frames;
+  ChunkBuilder cb(64, &frames);
+  std::vector<uint8_t> sec(20, 0xab);
+  for (int i = 0; i < 10; ++i) cb.AddSection(1, sec);
+  cb.Finish();
+  ASSERT_GT(frames.size(), 2u);
+  size_t total_sections = 0;
+  for (auto& f : frames) {
+    EXPECT_LE(f.size(), 64 + 20 + ChunkBuilder::kSectionHeader)
+        << "frame far above the bound";
+    Reader r(f);
+    ForEachSection(r, [&](uint8_t tag, Reader& s) {
+      EXPECT_EQ(tag, 1);
+      EXPECT_EQ(s.remaining(), 20u);
+      ++total_sections;
+    });
+  }
+  EXPECT_EQ(total_sections, 10u);
+}
+
+TEST(BackendSelection, MapsDeclaredTypesToBackends) {
+  using M = BackendFor<std::unordered_map<uint64_t, uint64_t>>;
+  using S = BackendFor<std::map<uint64_t, uint64_t>>;
+  using D = BackendFor<std::vector<uint64_t>>;
+  using Explicit = BackendFor<MapState<uint64_t, uint64_t>>;
+  struct Custom {
+    uint64_t x = 0;
+    MEGA_SERDE_FIELDS(Custom, x)
+  };
+  using B = BackendFor<Custom>;
+  static_assert(std::is_same_v<M, MapState<uint64_t, uint64_t>>);
+  static_assert(std::is_same_v<S, SortedState<uint64_t, uint64_t>>);
+  static_assert(std::is_same_v<D, DenseState<uint64_t>>);
+  static_assert(std::is_same_v<Explicit, MapState<uint64_t, uint64_t>>);
+  static_assert(std::is_same_v<B, BlobState<Custom>>);
+
+  // The user-reference accessor hands back the declared type.
+  M m;
+  std::unordered_map<uint64_t, uint64_t>& raw =
+      BackendSel<std::unordered_map<uint64_t, uint64_t>>::user(m);
+  raw[3] = 4;
+  EXPECT_EQ(m.raw().at(3), 4u);
+}
+
+TEST(SerdeFieldsMacro, EncodesInDeclarationOrder) {
+  struct Pod {
+    uint64_t a = 0;
+    std::string b;
+    std::vector<uint32_t> c;
+    MEGA_SERDE_FIELDS(Pod, a, b, c)
+  };
+  Pod p;
+  p.a = 99;
+  p.b = "megaphone";
+  p.c = {1, 2, 3};
+  Pod q = DecodeFromBytes<Pod>(EncodeToBytes(p));
+  EXPECT_EQ(q.a, p.a);
+  EXPECT_EQ(q.b, p.b);
+  EXPECT_EQ(q.c, p.c);
+
+  // Field order is the declared order: a's 8 bytes lead the encoding.
+  auto bytes = EncodeToBytes(p);
+  Reader r(bytes);
+  EXPECT_EQ(Decode<uint64_t>(r), 99u);
+}
+
+}  // namespace
+}  // namespace state
+}  // namespace megaphone

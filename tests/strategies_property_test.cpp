@@ -2,15 +2,26 @@
 // random reconfigurations, every strategy's batch sequence covers every
 // move exactly once, kOptimized batches never repeat a source or
 // destination worker, and an empty diff yields zero batches.
+//
+// Plus the end-to-end property of the chunked state path: for RANDOM
+// migration schedules (random strategies, epochs, and target
+// assignments), the deterministic count workload must produce
+// byte-identical output digests at every --chunk-bytes setting —
+// monolithic and chunked, single-process and across a 2-process TCP mesh.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "harness/harness.hpp"
+#include "harness/launcher.hpp"
 #include "megaphone/strategies.hpp"
 
 namespace megaphone {
@@ -145,6 +156,103 @@ TEST(StrategiesProperty, OptimizedBatchesNeverRepeatSourceOrDestination) {
     }
     EXPECT_EQ(current, to);
   }
+}
+
+// ---------------------------------------------------------------------
+// Chunked ≡ monolithic digest equality under random migration schedules.
+
+constexpr MigrationStrategy kScheduleStrategies[] = {
+    MigrationStrategy::kAllAtOnce,
+    MigrationStrategy::kFluid,
+    MigrationStrategy::kBatched,
+    MigrationStrategy::kOptimized,
+};
+
+/// A random migration schedule: 1-3 reconfigurations at distinct random
+/// epochs, each to a uniformly random assignment.
+std::vector<std::pair<uint64_t, Assignment>> RandomSchedule(
+    Xoshiro256& rng, uint32_t num_bins, uint32_t workers, uint64_t epochs) {
+  std::set<uint64_t> at;
+  size_t n = 1 + rng.NextBelow(3);
+  while (at.size() < n) at.insert(1 + rng.NextBelow(epochs - 1));
+  std::vector<std::pair<uint64_t, Assignment>> schedule;
+  for (uint64_t e : at) {
+    schedule.emplace_back(e, RandomAssignment(rng, num_bins, workers));
+  }
+  return schedule;
+}
+
+DetCountConfig RandomScheduleConfig(Xoshiro256& rng) {
+  DetCountConfig cfg;
+  cfg.total_workers = 4;
+  cfg.num_bins = 32;
+  cfg.domain = 1 << 10;
+  cfg.records_per_epoch = 1024;
+  cfg.epochs = 8;
+  cfg.strategy = kScheduleStrategies[rng.NextBelow(4)];
+  cfg.batch_size = 1 + rng.NextBelow(8);
+  cfg.seed = rng.Next();
+  cfg.schedule =
+      RandomSchedule(rng, cfg.num_bins, cfg.total_workers, cfg.epochs);
+  return cfg;
+}
+
+TEST(StrategiesProperty, ChunkedDigestsMatchMonolithicUnderRandomSchedules) {
+  Xoshiro256 rng(31);
+  timely::Config single;
+  single.workers = 4;
+  for (int round = 0; round < 4; ++round) {
+    DetCountConfig cfg = RandomScheduleConfig(rng);
+    cfg.chunk_bytes = 0;  // monolithic reference
+    DetCountResult ref = RunDeterministicCount(cfg, single);
+    ASSERT_TRUE(ref.root);
+    ASSERT_FALSE(ref.digest.empty());
+
+    for (uint64_t chunk_bytes : {48ull, 256ull, 4096ull}) {
+      DetCountConfig chunked = cfg;
+      chunked.chunk_bytes = chunk_bytes;
+      // Tight budget: at most ~two chunks per worker step, so the flow
+      // control genuinely interleaves chunks with data processing.
+      chunked.chunk_bytes_per_step = 2 * chunk_bytes;
+      DetCountResult r = RunDeterministicCount(chunked, single);
+      ASSERT_TRUE(r.root);
+      EXPECT_EQ(r.digest, ref.digest)
+          << "round " << round << " strategy " << StrategyName(cfg.strategy)
+          << " chunk_bytes " << chunk_bytes;
+      EXPECT_EQ(r.completed_batches, ref.completed_batches);
+    }
+  }
+}
+
+// The same digest equality must hold when the chunked run is distributed:
+// 2 processes x 2 workers over the TCP mesh, chunk frames crossing the
+// wire, against the single-process monolithic reference. (The fork
+// pattern follows multiprocess_test: the peer exits before gtest's
+// epilogue; this test runs RUN_SERIAL under ctest.)
+TEST(StrategiesProperty, ChunkedDigestsMatchAcrossTwoProcesses) {
+  Xoshiro256 rng(33);
+  DetCountConfig cfg = RandomScheduleConfig(rng);
+
+  timely::Config single;
+  single.workers = 4;
+  cfg.chunk_bytes = 0;
+  DetCountResult ref = RunDeterministicCount(cfg, single);
+  ASSERT_TRUE(ref.root);
+
+  cfg.chunk_bytes = 64;
+  cfg.chunk_bytes_per_step = 128;
+  MultiProcess mp = LaunchLoopbackProcesses(/*processes=*/2,
+                                            /*workers_per_process=*/2);
+  if (!mp.IsRoot()) {
+    RunDeterministicCount(cfg, mp.config);
+    _exit(0);
+  }
+  DetCountResult dist = RunDeterministicCount(cfg, mp.config);
+  EXPECT_EQ(WaitForChildren(mp.children), 0) << "peer process failed";
+  ASSERT_TRUE(dist.root);
+  EXPECT_EQ(dist.digest, ref.digest)
+      << "distributed chunked run diverged from monolithic reference";
+  EXPECT_EQ(dist.completed_batches, ref.completed_batches);
 }
 
 // The paper's evaluation reconfiguration keeps its defining shape.

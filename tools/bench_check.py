@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI bench gates for the megabench driver.
 
-Two modes, combinable:
+Three modes, combinable:
 
   --report FILE [FILE ...]
       Sanity-check merged figure reports: each must parse as JSON, carry a
@@ -18,6 +18,21 @@ Two modes, combinable:
       from the baseline machine, so the gate only catches catastrophic
       regressions — e.g. the single-process hot path accidentally paying
       serialization — not noise.
+
+  --max-latency FILE [--max-latency-margin M]
+      Chunked-migration gate on a fig-22-style report (megabench
+      --fig=22): validates the report schema (both the "monolithic" and
+      "chunked" variants present, each with steady percentiles, a
+      sampled timeline, migration windows carrying batches and chunk
+      traffic, and the chunked variant actually shipping >1 chunk frame
+      per migrated bin), checks the two variants ran at comparable
+      achieved throughput, and asserts the chunked variant's
+      per-migration max latency <= max(monolithic * (1 + M),
+      monolithic + floor). M defaults to 0.25 and the floor
+      (--max-latency-floor-ms) to 15 ms — noise-safe: on quiet machines
+      chunked sits well below monolithic, and the margin/floor only
+      absorb scheduler jitter on busy CI runners, not a real regression
+      (a regression flips the sign by far more than the floor).
 
 Exit status 0 iff every requested check passes.
 """
@@ -62,6 +77,73 @@ def check_report(path: str) -> None:
     )
 
 
+def check_max_latency(path: str, margin: float, floor_ms: float) -> None:
+    """Schema-validate a fig-22 report and gate chunked vs monolithic."""
+    with open(path) as f:
+        report = json.load(f)
+    variants = {v.get("label"): v for v in report.get("variants", [])}
+    for label in ("monolithic", "chunked"):
+        if label not in variants:
+            fail(f"{path}: missing variant {label}")
+        v = variants[label]
+        for key in ("steady", "timeline", "migrations",
+                    "max_latency_during_migration_ms",
+                    "achieved_rate_per_s", "chunk_bytes"):
+            if key not in v:
+                fail(f"{path}: variant {label} lacks {key}")
+        if not v["migrations"]:
+            fail(f"{path}: variant {label} observed no migration window")
+        for m in v["migrations"]:
+            for key in ("start_sec", "end_sec", "duration_sec",
+                        "max_latency_ms", "batches", "chunk_frames",
+                        "chunk_bytes"):
+                if key not in m:
+                    fail(f"{path}: {label} migration window lacks {key}")
+        for key in ("p50_ms", "p99_ms", "max_ms", "samples"):
+            if key not in v["steady"]:
+                fail(f"{path}: variant {label} steady summary lacks {key}")
+
+    mono, chunked = variants["monolithic"], variants["chunked"]
+    if int(chunked["chunk_bytes"]) <= 0:
+        fail(f"{path}: chunked variant ran with chunk_bytes=0")
+    mono_frames = sum(int(m["chunk_frames"]) for m in mono["migrations"])
+    chunk_frames = sum(int(m["chunk_frames"]) for m in chunked["migrations"])
+    if chunk_frames <= mono_frames:
+        fail(
+            f"{path}: chunked variant shipped {chunk_frames} frames vs "
+            f"monolithic {mono_frames} — chunking never engaged"
+        )
+
+    rate_mono = float(mono["achieved_rate_per_s"])
+    rate_chunk = float(chunked["achieved_rate_per_s"])
+    if rate_mono <= 0 or rate_chunk <= 0:
+        fail(f"{path}: zero achieved rate")
+    rate_ratio = rate_chunk / rate_mono
+    if not 0.8 <= rate_ratio <= 1.25:
+        fail(
+            f"{path}: variants ran at different loads "
+            f"(chunked/monolithic achieved rate = {rate_ratio:.3f}) — "
+            f"max-latency comparison would be meaningless"
+        )
+
+    mono_ms = float(mono["max_latency_during_migration_ms"])
+    chunk_ms = float(chunked["max_latency_during_migration_ms"])
+    # Relative margin plus an absolute floor: on small smoke configs the
+    # monolithic baseline is only a few ms, so a pure ratio bound leaves
+    # less headroom than one scheduler stall on a shared CI runner. A
+    # real regression inverts the sign by much more than the floor.
+    bound = max(mono_ms * (1.0 + margin), mono_ms + floor_ms)
+    status = "OK" if chunk_ms <= bound else "FAIL"
+    print(
+        f"bench_check: {status}: {path}: max latency during migration "
+        f"chunked {chunk_ms:.3f} ms vs monolithic {mono_ms:.3f} ms "
+        f"(bound {bound:.3f} ms, margin {margin}); chunked shipped "
+        f"{chunk_frames} chunk frames (monolithic {mono_frames})"
+    )
+    if chunk_ms > bound:
+        sys.exit(1)
+
+
 def steady_rows(doc: dict, key: str) -> dict:
     rows = {}
     for row in doc.get(key, []):
@@ -104,12 +186,24 @@ def main() -> None:
                     help="throughput floor vs baseline (default 0.15)")
     ap.add_argument("--name", action="append", default=None,
                     help="steady row(s) to gate (default megaphone-count-w4)")
+    ap.add_argument("--max-latency",
+                    help="fig-22 chunked-vs-monolithic report to gate")
+    ap.add_argument("--max-latency-margin", type=float, default=0.25,
+                    help="chunked may exceed monolithic max latency by "
+                         "this fraction (default 0.25)")
+    ap.add_argument("--max-latency-floor-ms", type=float, default=15.0,
+                    help="absolute noise headroom added to the bound "
+                         "(default 15 ms)")
     args = ap.parse_args()
 
-    if not args.report and not args.steady:
-        ap.error("nothing to check: pass --report and/or --steady")
+    if not args.report and not args.steady and not args.max_latency:
+        ap.error("nothing to check: pass --report, --steady and/or "
+                 "--max-latency")
     for path in args.report:
         check_report(path)
+    if args.max_latency:
+        check_max_latency(args.max_latency, args.max_latency_margin,
+                          args.max_latency_floor_ms)
     if args.steady:
         if not args.baseline:
             ap.error("--steady requires --baseline")
