@@ -1,0 +1,181 @@
+// Deterministic fault injection for the process mesh.
+//
+// A FaultSpec is a *seeded schedule* of transport faults — drop, delay,
+// duplicate, corrupt, partition, crash — applied by the mesh send path to
+// first transmissions of sequenced frames. Retransmissions and protocol
+// frames (ack/nack/heartbeat/goodbye) are exempt, so any run whose
+// processes stay alive terminates: the reliability layer can always
+// repair what the injector breaks. Partition additionally blackholes
+// heartbeats, which is exactly what turns it into a PeerDown at the
+// receiver's deadline.
+//
+// Each link direction gets its own FaultInjector seeded from
+// (spec.seed, self process, peer process), so a given configuration
+// replays the identical fault schedule on every run — failures are
+// reproducible test inputs, not flakes (ISSUE 6; the recovery-latency
+// framing follows "Toward Reliable and Rapid Elasticity for Streaming
+// Dataflows on Clouds").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/serde.hpp"
+
+namespace megaphone {
+namespace fault {
+
+/// Parsed form of the megabench `--fault=` knob / timely::Config field.
+struct FaultSpec {
+  uint64_t seed = 1;
+  /// Per-frame probabilities, independent draws per first transmission.
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double delay_p = 0.0;
+  uint64_t delay_us = 200;
+  double corrupt_p = 0.0;
+  /// After this many first transmissions on a link, the link blackholes
+  /// every write — including heartbeats — so the peer's deadline fires
+  /// and reports PeerDown. 0 = off.
+  uint64_t partition_after = 0;
+  /// After this many first transmissions on a link, the process raises
+  /// SIGKILL (a crash mid-run, for recovery drills). 0 = off.
+  uint64_t kill_after = 0;
+
+  bool Enabled() const {
+    return drop_p > 0 || dup_p > 0 || delay_p > 0 || corrupt_p > 0 ||
+           partition_after > 0 || kill_after > 0;
+  }
+
+  MEGA_SERDE_FIELDS(FaultSpec, seed, drop_p, dup_p, delay_p, delay_us,
+                    corrupt_p, partition_after, kill_after)
+
+  /// Parses "key=value[,key=value...]", e.g.
+  ///   drop=0.01,dup=0.01,delay=0.02,delay-us=500,corrupt=0.001,seed=7
+  ///   partition=5000        (blackhole the link after 5000 frames)
+  ///   kill=2000             (SIGKILL the process after 2000 frames)
+  /// Unknown keys abort: a typo'd fault drill must not silently run
+  /// fault-free.
+  static FaultSpec Parse(const std::string& text) {
+    FaultSpec spec;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t end = text.find(',', pos);
+      if (end == std::string::npos) end = text.size();
+      std::string item = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (item.empty()) continue;
+      size_t eq = item.find('=');
+      MEGA_CHECK(eq != std::string::npos)
+          << "--fault item without '=': " << item;
+      std::string key = item.substr(0, eq);
+      std::string val = item.substr(eq + 1);
+      if (key == "seed") {
+        spec.seed = std::stoull(val);
+      } else if (key == "drop") {
+        spec.drop_p = std::stod(val);
+      } else if (key == "dup") {
+        spec.dup_p = std::stod(val);
+      } else if (key == "delay") {
+        spec.delay_p = std::stod(val);
+      } else if (key == "delay-us") {
+        spec.delay_us = std::stoull(val);
+      } else if (key == "corrupt") {
+        spec.corrupt_p = std::stod(val);
+      } else if (key == "partition") {
+        spec.partition_after = std::stoull(val);
+      } else if (key == "kill") {
+        spec.kill_after = std::stoull(val);
+      } else {
+        MEGA_CHECK(false) << "unknown --fault key: " << key;
+      }
+    }
+    return spec;
+  }
+
+  std::string ToString() const {
+    std::string s = "seed=" + std::to_string(seed);
+    auto prob = [&](const char* key, double p) {
+      if (p > 0) s += std::string(",") + key + "=" + std::to_string(p);
+    };
+    prob("drop", drop_p);
+    prob("dup", dup_p);
+    prob("delay", delay_p);
+    if (delay_p > 0) s += ",delay-us=" + std::to_string(delay_us);
+    prob("corrupt", corrupt_p);
+    if (partition_after > 0) {
+      s += ",partition=" + std::to_string(partition_after);
+    }
+    if (kill_after > 0) s += ",kill=" + std::to_string(kill_after);
+    return s;
+  }
+};
+
+/// What the injector decided for one first transmission.
+struct FaultDecision {
+  bool drop = false;
+  bool dup = false;
+  bool corrupt = false;
+  uint64_t delay_us = 0;
+  /// Corruption site: byte index (mod payload size) and a nonzero xor.
+  uint64_t corrupt_pos = 0;
+  uint8_t corrupt_xor = 1;
+};
+
+/// One injector per link direction. Deterministic: the decision stream
+/// is a pure function of (spec, self, peer).
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, uint32_t self, uint32_t peer)
+      : spec_(spec),
+        rng_(HashMix64(spec.seed ^ (uint64_t{self} << 32) ^ peer ^
+                       0x6d656761666c74ULL)) {}
+
+  /// Advances the schedule by one first transmission.
+  FaultDecision OnFrame() {
+    ++frames_;
+    if (spec_.kill_after > 0 && frames_ >= spec_.kill_after) {
+      kill_due_ = true;
+    }
+    FaultDecision d;
+    if (PartitionActive()) return d;  // blackholed at a higher level
+    if (spec_.drop_p > 0 && rng_.NextDouble() < spec_.drop_p) {
+      d.drop = true;
+      return d;
+    }
+    if (spec_.dup_p > 0 && rng_.NextDouble() < spec_.dup_p) d.dup = true;
+    if (spec_.delay_p > 0 && rng_.NextDouble() < spec_.delay_p) {
+      d.delay_us = spec_.delay_us;
+    }
+    if (spec_.corrupt_p > 0 && rng_.NextDouble() < spec_.corrupt_p) {
+      d.corrupt = true;
+      d.corrupt_pos = rng_.Next();
+      d.corrupt_xor = static_cast<uint8_t>(1 + rng_.NextBelow(255));
+    }
+    return d;
+  }
+
+  /// True once the partition threshold has been crossed: from here on
+  /// the link writes nothing at all (callers check before every write).
+  bool PartitionActive() const {
+    return spec_.partition_after > 0 && frames_ > spec_.partition_after;
+  }
+
+  /// True once the kill threshold has been crossed; the caller raises
+  /// SIGKILL (the injector cannot, portably, from a header).
+  bool KillDue() const { return kill_due_; }
+
+  uint64_t frames() const { return frames_; }
+
+ private:
+  FaultSpec spec_;
+  Xoshiro256 rng_;
+  uint64_t frames_ = 0;
+  bool kill_due_ = false;
+};
+
+}  // namespace fault
+}  // namespace megaphone

@@ -21,13 +21,18 @@
 // per-record percentiles + CCDF instead of timelines.
 #pragma once
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "harness/count_workload.hpp"
 #include "harness/launcher.hpp"
 #include "harness/nexmark_workload.hpp"
@@ -41,6 +46,9 @@ constexpr int kFigTable1 = 21;
 /// Figure id of the chunked-vs-monolithic large-state migration bench
 /// (the fig. 15 large-state scenario, measured under migration).
 constexpr int kFigChunk = 22;
+/// Figure id of the fault drill: kill one process mid-run, recover from
+/// the latest checkpoint, report recovery time and digest equality.
+constexpr int kFigRecovery = 23;
 
 /// --chunk-bytes=N / --chunk-step-bytes=N: state-chunk frame bound and
 /// per-step flow-control budget (0 = monolithic single-frame migration).
@@ -63,10 +71,12 @@ class BenchProcs {
       : processes_(static_cast<uint32_t>(flags.GetInt("processes", 1))),
         workers_(static_cast<uint32_t>(
             flags.GetInt("workers", default_workers))),
-        manual_(flags.Has("process-index")) {
+        manual_(flags.Has("process-index")),
+        fault_(fault::FaultSpec::Parse(flags.GetStr("fault", ""))) {
     MEGA_CHECK_GE(processes_, 1u);
     if (manual_) {
       manual_cfg_ = SetupProcessesFromFlags(flags, default_workers).config;
+      manual_cfg_.fault = fault_;
     }
   }
 
@@ -81,7 +91,8 @@ class BenchProcs {
     MEGA_CHECK_EQ(cfg.workers, total_workers());
     if (manual_) return RunCountBench(cfg, manual_cfg_);
     if (processes_ <= 1) return RunCountBench(cfg);
-    return RunForked(processes_, workers_, [&](const timely::Config& tc) {
+    return RunForked(processes_, workers_, [&](timely::Config tc) {
+      tc.fault = fault_;
       return RunCountBench(cfg, tc);
     });
   }
@@ -90,7 +101,8 @@ class BenchProcs {
     MEGA_CHECK_EQ(cfg.workers, total_workers());
     if (manual_) return RunNexmarkBench(cfg, manual_cfg_);
     if (processes_ <= 1) return RunNexmarkBench(cfg);
-    return RunForked(processes_, workers_, [&](const timely::Config& tc) {
+    return RunForked(processes_, workers_, [&](timely::Config tc) {
+      tc.fault = fault_;
       return RunNexmarkBench(cfg, tc);
     });
   }
@@ -100,6 +112,7 @@ class BenchProcs {
   uint32_t workers_;
   bool manual_;
   timely::Config manual_cfg_;
+  fault::FaultSpec fault_;
 };
 
 namespace benchjson {
@@ -803,6 +816,106 @@ inline void RunFig22(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   }
 }
 
+// ------------------------------------------------- fig 23 (fault drill)
+
+/// Figure 23 (not in the paper — the fault drill): run the deterministic
+/// count workload on a 2x2 mesh, SIGKILL process 1 mid-run, then relaunch
+/// with restore=true from the latest complete checkpoint and time the
+/// recovery. The run passes iff the survivor aborted with a clean
+/// PeerDownError (no hang) and the post-recovery digest is byte-identical
+/// to a fault-free single-process reference.
+inline void RunRecovery(const Flags& flags, JsonWriter& j) {
+  DetCountConfig base;
+  base.total_workers = 4;
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 32));
+  base.domain = flags.GetInt("domain", 1 << 10);
+  base.records_per_epoch = flags.GetInt("records_per_epoch", 2048);
+  base.epochs = flags.GetInt("epochs", 8);
+  base.migrate_at_epoch = 2;
+  base.strategy = MigrationStrategy::kBatched;
+  base.batch_size = base.num_bins;  // whole plan in one batch
+  const uint64_t die_at = flags.GetInt("die_at_epoch", 5);
+
+  std::printf("# Figure 23: kill-one-process recovery drill; epochs=%llu "
+              "die_at=%llu\n",
+              static_cast<unsigned long long>(base.epochs),
+              static_cast<unsigned long long>(die_at));
+
+  timely::Config single;
+  single.workers = base.total_workers;
+  DetCountResult ref = RunDeterministicCount(base, single);
+  MEGA_CHECK(ref.root);
+
+  char tmpl[] = "/tmp/mega_recovery_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  MEGA_CHECK(dir != nullptr) << "mkdtemp failed";
+  DetCountConfig cfg = base;
+  cfg.checkpoint_dir = dir;
+  cfg.checkpoint_every = flags.GetInt("checkpoint_every", 2);
+
+  // Crash run: process 1 SIGKILLs itself at the top of epoch `die_at`;
+  // the surviving root must abort via PeerDownError, not hang.
+  bool aborted_cleanly = false;
+  {
+    DetCountConfig crash = cfg;
+    crash.die_at_epoch = die_at;
+    crash.die_process = 1;
+    MultiProcess mp = LaunchLoopbackProcesses(2, 2);
+    mp.config.heartbeat_ms = flags.GetInt("heartbeat_ms", 50);
+    mp.config.peer_deadline_ms = flags.GetInt("peer_deadline_ms", 2000);
+    if (!mp.IsRoot()) {
+      RunDeterministicCount(crash, mp.config);
+      ::_exit(9);  // unreachable: the child dies inside the epoch loop
+    }
+    try {
+      RunDeterministicCount(crash, mp.config);
+    } catch (const timely::PeerDownError&) {
+      aborted_cleanly = true;
+    }
+    WaitForChildren(mp.children);  // nonzero by design: the child was killed
+  }
+
+  const uint64_t latest = state::LatestCompleteEpoch(cfg.checkpoint_dir, 2);
+
+  // Timed recovery: fresh 2x2 launch, restore from the latest checkpoint,
+  // replay the tail. recovery_ms covers launch + restore + replay.
+  DetCountConfig rec = cfg;
+  rec.restore = true;
+  auto t0 = std::chrono::steady_clock::now();
+  DetCountResult out = RunForked(2, 2, [&](const timely::Config& tc) {
+    return RunDeterministicCount(rec, tc);
+  });
+  double recovery_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  const bool digest_match = out.root && out.digest == ref.digest;
+
+  std::printf("# aborted_cleanly=%d checkpoint_epoch=%llu recovery_ms=%.1f "
+              "digest_match=%d\n",
+              aborted_cleanly ? 1 : 0,
+              static_cast<unsigned long long>(latest), recovery_ms,
+              digest_match ? 1 : 0);
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("det-count");
+  j.Key("epochs").Value(base.epochs);
+  j.Key("records_per_epoch").Value(base.records_per_epoch);
+  j.Key("die_at_epoch").Value(die_at);
+  j.Key("checkpoint_every").Value(cfg.checkpoint_every);
+  j.EndObject();
+  j.Key("variants").BeginArray();
+  j.BeginObject();
+  j.Key("label").Value("recovery");
+  j.Key("aborted_cleanly").Value(aborted_cleanly);
+  j.Key("checkpoint_epoch").Value(latest);
+  j.Key("recovery_ms").Value(recovery_ms);
+  j.Key("resumed_at_epoch").Value(out.start_epoch);
+  j.Key("digest_match").Value(digest_match);
+  j.EndObject();
+  j.EndArray();
+}
+
 // -------------------------------------------------------------- table 1
 
 #ifndef MEGA_SOURCE_DIR
@@ -884,7 +997,8 @@ inline void BenchDriverUsage() {
       stderr,
       "megabench: unified paper-figure bench driver\n"
       "  --fig=N           figure to run (1, 5-20; 21 = Table 1;\n"
-      "                    22 = chunked vs monolithic migration)\n"
+      "                    22 = chunked vs monolithic migration;\n"
+      "                    23 = kill-one-process recovery drill)\n"
       "  --query=N         NEXMark query 1-8 (same as --fig=N+4)\n"
       "  --steady          closed-loop steady-throughput suite\n"
       "  --strategy=S      only run variant S (default: all)\n"
@@ -920,7 +1034,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
     fig = static_cast<int>(flags.GetInt("query", 3)) + 4;
   }
   const bool known = fig == 1 || (fig >= 5 && fig <= 20) ||
-                     fig == kFigTable1 || fig == kFigChunk;
+                     fig == kFigTable1 || fig == kFigChunk ||
+                     fig == kFigRecovery;
   if (!known) {
     BenchDriverUsage();
     return 2;
@@ -954,6 +1069,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
     RunFig20(procs, flags, j);
   } else if (fig == kFigChunk) {
     RunFig22(procs, flags, j);
+  } else if (fig == kFigRecovery) {
+    RunRecovery(flags, j);
   } else {
     RunTable01(flags, j);
   }

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <atomic>
+#include <csignal>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +33,7 @@
 #include "harness/histogram.hpp"
 #include "harness/rss.hpp"
 #include "megaphone/megaphone.hpp"
+#include "state/checkpoint.hpp"
 #include "timely/timely.hpp"
 
 namespace megaphone {
@@ -448,6 +451,20 @@ struct DetCountConfig {
   uint64_t chunk_bytes = 0;
   uint64_t chunk_bytes_per_step = 0;
   uint64_t seed = 1;
+
+  /// Checkpoint/restore (fault drills). When `checkpoint_dir` is set the
+  /// run writes one frontier-aligned checkpoint segment per process every
+  /// `checkpoint_every` epochs (skipping boundaries inside a migration);
+  /// with `restore` it resumes from the latest *complete* checkpoint in
+  /// the directory instead of epoch 0.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 2;
+  bool restore = false;
+  /// Deterministic crash: process `die_process` raises SIGKILL at the top
+  /// of epoch `die_at_epoch` (multi-process runs only; >= epochs
+  /// disables). Used by the recovery tests and the recovery bench figure.
+  uint64_t die_at_epoch = UINT64_MAX;
+  uint32_t die_process = 1;
 };
 
 struct DetCountResult {
@@ -460,6 +477,8 @@ struct DetCountResult {
   bool root = false;
   /// Records injected by this process's workers.
   uint64_t records_sent = 0;
+  /// Epoch the run resumed from (0 = fresh run / no usable checkpoint).
+  uint64_t start_epoch = 0;
 };
 
 /// Runs the deterministic count workload under `tcfg` (whose
@@ -482,12 +501,41 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
   std::shared_ptr<std::map<uint64_t, uint64_t>> root_counts;
   std::atomic<uint64_t> total_sent{0};
 
+  // Checkpoint/restore plumbing. The segment is loaded once, before the
+  // worker threads spawn, and shared read-only with every build closure.
+  const bool ck_enabled = !cfg.checkpoint_dir.empty();
+  state::CheckpointSegment seg;
+  uint64_t start_epoch = 0;
+  if (ck_enabled && cfg.restore &&
+      state::LoadLatestSegment(cfg.checkpoint_dir,
+                               std::max(1u, tcfg.processes),
+                               tcfg.process_index, &seg)) {
+    start_epoch = seg.epoch;
+  }
+  result.start_epoch = start_epoch;
+
+  // Capture rendezvous for this process's workers: each stages its bins,
+  // the local root writes the segment, and nobody proceeds into the next
+  // epoch until the file is published (temp + rename).
+  struct CkShared {
+    explicit CkShared(uint32_t n) : barrier(n), staging(n) {}
+    timely::Barrier barrier;
+    std::vector<state::BinSnapshot> staging;
+  };
+  auto ck = ck_enabled ? std::make_shared<CkShared>(tcfg.workers) : nullptr;
+
   timely::Execute(tcfg, [&](Worker& w) {
     struct Handles {
       timely::Input<ControlInst, T> ctrl;
       timely::Input<uint64_t, T> data;
       timely::ProbeHandle<T> probe;
+      /// Frontier past the collector's *consumption*: the S-output probe
+      /// alone cannot see records still in flight to worker 0's Collect
+      /// input (sibling ports do not constrain each other), and a
+      /// checkpoint must capture an exact collector.
+      timely::ProbeHandle<T> cprobe;
       std::shared_ptr<std::map<uint64_t, uint64_t>> counts;
+      std::function<void(state::BinSnapshot&)> capture;
     };
     auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
       auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
@@ -497,6 +545,7 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       mcfg.chunk_bytes = cfg.chunk_bytes;
       mcfg.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
       mcfg.name = "DetCount";
+      if (start_epoch > 0) mcfg.initial_owner = seg.assignment;
       using BinState = state::MapState<uint64_t, uint64_t>;
       // Every record emits its key's running count; the collector below
       // keeps the maximum per key, which equals the final count.
@@ -509,12 +558,28 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
           },
           mcfg);
 
+      // Restore this worker's share of the checkpoint: bins staged into
+      // the operator (installed at S's first schedule), collector decoded
+      // into worker 0's map.
+      if (start_epoch > 0) {
+        auto it = seg.workers.find(s.worker());
+        if (it != seg.workers.end()) out.restore_bins(it->second);
+      }
+
       // Collector on global worker 0: the single point of truth any
-      // process split must agree with.
+      // process split must agree with. The dummy output (never written)
+      // exists so a probe can observe the collector's consumption
+      // frontier.
       auto counts = std::make_shared<std::map<uint64_t, uint64_t>>();
+      if (start_epoch > 0 && s.worker() == 0 && !seg.collector.empty()) {
+        *counts =
+            DecodeFromBytes<std::map<uint64_t, uint64_t>>(seg.collector);
+      }
       timely::OperatorBuilder<T> cb(s, "Collect");
       auto* cin = cb.AddInput(
           out.stream, Pact<KV>::Exchange([](const KV&) { return uint64_t{0}; }));
+      auto [collect_out, collect_stream] = cb.template AddOutput<uint8_t>();
+      (void)collect_out;
       cb.Build([cin, counts](OpCtx<T>&) {
         cin->ForEach([&](const T&, std::vector<KV>& recs) {
           for (auto& kc : recs) {
@@ -523,9 +588,11 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
           }
         });
       });
-      return Handles{ctrl_in, data_in, out.probe, counts};
+      return Handles{ctrl_in, data_in, out.probe,
+                     timely::Probe(collect_stream), counts,
+                     out.capture_bins};
     });
-    auto& [ctrl_in, data_in, probe, counts] = handles;
+    auto& [ctrl_in, data_in, probe, cprobe, counts, capture] = handles;
 
     typename MigrationController<T>::Options mopts;
     mopts.strategy = cfg.strategy;
@@ -542,6 +609,20 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     }
     Assignment current = MakeInitialAssignment(cfg.num_bins, W);
     size_t next_mig = 0;
+    // Resuming from a checkpoint: migrations before the checkpoint epoch
+    // are already reflected in the restored routing table — skip them,
+    // and cross-check the replayed schedule against the checkpointed
+    // assignment.
+    while (next_mig < schedule.size() &&
+           schedule[next_mig].first < start_epoch) {
+      current = schedule[next_mig].second;
+      next_mig++;
+    }
+    if (start_epoch > 0) {
+      MEGA_CHECK(current == seg.assignment)
+          << "checkpoint assignment diverges from the replayed schedule";
+      data_in->AdvanceTo(start_epoch);
+    }
     const uint32_t me = w.index();
     uint64_t sent = 0;
     std::vector<uint64_t> batch;
@@ -549,8 +630,14 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     // Lockstep epochs: inject, advance, and wait for global completion of
     // the epoch. The wait makes every worker's controller observe the
     // same probe state at the same epoch, so batch issue/completion — and
-    // therefore completed_batches() — is deterministic.
-    for (uint64_t e = 0; e < cfg.epochs; ++e) {
+    // therefore completed_batches() — is deterministic. The collector
+    // probe rides along so an epoch boundary is fully quiescent: exactly
+    // the property a frontier-aligned checkpoint needs.
+    for (uint64_t e = start_epoch; e < cfg.epochs; ++e) {
+      if (e == cfg.die_at_epoch && tcfg.processes > 1 &&
+          tcfg.process_index == cfg.die_process) {
+        std::raise(SIGKILL);  // deterministic crash for the fault drills
+      }
       while (next_mig < schedule.size() && schedule[next_mig].first == e) {
         controller.MigrateTo(current, schedule[next_mig].second);
         current = schedule[next_mig].second;
@@ -568,7 +655,34 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       data_in->SendBatch(std::move(batch));
       batch.clear();
       data_in->AdvanceTo(e + 1);
-      w.StepUntil([&] { return !probe.LessThan(e + 1); });
+      w.StepUntil([&] {
+        return !probe.LessThan(e + 1) && !cprobe.LessThan(e + 1);
+      });
+
+      // Frontier-aligned capture: every record at times < e+1 is in the
+      // bins (probe) and the collector (cprobe), nothing is stashed for
+      // later times, and no migration is in flight — so the segment is an
+      // exact cut of the job at epoch e+1.
+      if (ck != nullptr && e + 1 < cfg.epochs &&
+          (e + 1) % cfg.checkpoint_every == 0 && !controller.Migrating()) {
+        state::BinSnapshot snap;
+        capture(snap);
+        ck->staging[me % tcfg.workers] = std::move(snap);
+        ck->barrier.Wait();  // all local workers staged
+        if (w.IsLocalRoot()) {
+          state::CheckpointSegment out_seg;
+          out_seg.epoch = e + 1;
+          out_seg.assignment = current;
+          const uint32_t local_begin = tcfg.process_index * tcfg.workers;
+          for (uint32_t i = 0; i < tcfg.workers; ++i) {
+            out_seg.workers[local_begin + i] = std::move(ck->staging[i]);
+          }
+          if (me == 0) out_seg.collector = EncodeToBytes(*counts);
+          state::WriteSegment(cfg.checkpoint_dir, tcfg.process_index,
+                              out_seg);
+        }
+        ck->barrier.Wait();  // segment published before the next epoch
+      }
     }
 
     // Drain epochs (no data) until the migration has fully completed, so

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -213,6 +214,11 @@ struct BinsShared {
 
   std::vector<std::unique_ptr<BinT>> bins;
   std::map<T, std::set<BinId>> pending_bins;
+  /// Checkpoint-restore staging: (bin, whole-value bytes) deposited by
+  /// StatefulOutput::restore_bins before stepping begins; S installs
+  /// them (deserializing and re-registering pending times under its
+  /// capability hold) at its first schedule, then clears this.
+  std::vector<std::pair<BinId, std::vector<uint8_t>>> restore_staging;
 
   /// Registers that `bin` has pending records at time `t`. Returns true if
   /// `t` is newly pending for this worker (caller retains a capability).

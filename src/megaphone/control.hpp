@@ -113,6 +113,24 @@ class RoutingTable {
   uint32_t num_bins() const { return static_cast<uint32_t>(history_.size()); }
   uint32_t workers() const { return workers_; }
 
+  /// Replaces the table's time-minimum base version with an explicit
+  /// per-bin assignment (checkpoint restore: the run resumes with the
+  /// routing the checkpoint was taken under, not bin % workers). Must be
+  /// called before any Apply; note that OwnerBefore still falls back to
+  /// InitialOwner for updates at the minimum time, so restored schedules
+  /// must not migrate at the minimum timestamp — the harness never does.
+  void ResetInitial(const std::vector<uint32_t>& owners) {
+    MEGA_CHECK_EQ(owners.size(), history_.size())
+        << "restored assignment has the wrong bin count";
+    for (BinId b = 0; b < history_.size(); ++b) {
+      MEGA_CHECK_LT(owners[b], workers_);
+      MEGA_CHECK_EQ(history_[b].size(), size_t{1})
+          << "ResetInitial after routing updates";
+      history_[b].back().second = owners[b];
+      flat_[b] = owners[b];
+    }
+  }
+
   /// Owner of `bin` for records at time `t`: the latest version with
   /// effective time ≤ t.
   uint32_t WorkerAt(const T& t, BinId bin) const {

@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -90,6 +91,12 @@ struct Config {
   uint64_t chunk_bytes_per_step = 0;
   /// Operator name (diagnostics).
   std::string name = "Stateful";
+  /// Checkpoint restore: per-bin initial owner overriding the default
+  /// `bin % workers` assignment. Must be empty or exactly `num_bins`
+  /// entries, and may only be set on a routing table that has seen no
+  /// updates yet — restored runs resume with the checkpointed assignment
+  /// and must not migrate at the minimum timestamp.
+  std::vector<uint32_t> initial_owner;
 
   uint64_t ChunkStepBudget() const {
     if (chunk_bytes_per_step != 0) return chunk_bytes_per_step;
@@ -169,6 +176,17 @@ template <typename R, typename T>
 struct StatefulOutput {
   timely::Stream<R, T> stream;
   timely::ProbeHandle<T> probe;
+
+  /// Checkpoint hooks over this worker's bin container. `capture_bins`
+  /// appends every resident bin as (bin id, whole-value serialization) —
+  /// call it only at a frontier-aligned quiescent point (no stashed
+  /// records, no in-flight migration). `restore_bins` stages such pairs
+  /// for installation at S's next schedule, before any data is ingested;
+  /// see BinsShared::restore_staging.
+  std::function<void(std::vector<std::pair<uint32_t, std::vector<uint8_t>>>&)>
+      capture_bins;
+  std::function<void(std::vector<std::pair<uint32_t, std::vector<uint8_t>>>)>
+      restore_bins;
 };
 
 namespace detail {
@@ -329,6 +347,9 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
     uint64_t steps = 0;
   };
   auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
+  if (!cfg.initial_owner.empty()) {
+    fs->cs.routing().ResetInitial(cfg.initial_owner);
+  }
 
   fb.Build([=](OpCtx<T>& ctx) {
     // Routes a whole batch: records are grouped per destination worker in
@@ -453,6 +474,25 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
         ss->held.insert(t);
       }
     };
+
+    // 0. Install checkpoint-restored bins staged before stepping began:
+    //    deserialize each whole-value payload and re-register its pending
+    //    times under a capability hold — exactly as if the bin had just
+    //    migrated in. Runs on S's first schedule, before any input.
+    if (!shared->restore_staging.empty()) {
+      for (auto& [rb, rbytes] : shared->restore_staging) {
+        MEGA_CHECK(!shared->bins[rb]) << "restore into resident bin " << rb;
+        Reader rr(rbytes);
+        auto rbin = std::make_unique<BinT>(BinT::Deserialize(rr));
+        rbin->ForEachPendingTime([&](const T& t) {
+          shared->RegisterPending(t, rb);
+          hold(t);
+        });
+        shared->bins[rb] = std::move(rbin);
+      }
+      shared->restore_staging.clear();
+      shared->restore_staging.shrink_to_fit();
+    }
 
     // 1. Install migrated state immediately (paper §3.4: "S immediately
     //    installs any received state") — chunk by chunk: each frame is
@@ -584,7 +624,23 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
 
   auto probe = timely::Probe(out_stream);
   *probe_slot = probe;
-  return {out_stream, probe};
+  StatefulOutput<R, T> result;
+  result.stream = out_stream;
+  result.probe = probe;
+  result.capture_bins =
+      [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& out) {
+        for (BinId b = 0; b < shared->bins.size(); ++b) {
+          if (!shared->bins[b]) continue;
+          Writer w;
+          shared->bins[b]->Serialize(w);
+          out.emplace_back(b, w.Take());
+        }
+      };
+  result.restore_bins =
+      [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>> staged) {
+        shared->restore_staging = std::move(staged);
+      };
+  return result;
 }
 
 /// Builds a migratable binary stateful operator (paper Listing 1,
@@ -638,6 +694,9 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
     uint64_t steps = 0;
   };
   auto fs = std::make_shared<FState>(num_bins, scope.peers(), scope.worker());
+  if (!cfg.initial_owner.empty()) {
+    fs->cs.routing().ResetInitial(cfg.initial_owner);
+  }
 
   fb.Build([=](OpCtx<T>& ctx) {
     // Per-target grouping with flat owner lookups and the same-thread
@@ -773,6 +832,25 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
         ss->held.insert(t);
       }
     };
+
+    // 0. Install checkpoint-restored bins staged before stepping began:
+    //    deserialize each whole-value payload and re-register its pending
+    //    times under a capability hold — exactly as if the bin had just
+    //    migrated in. Runs on S's first schedule, before any input.
+    if (!shared->restore_staging.empty()) {
+      for (auto& [rb, rbytes] : shared->restore_staging) {
+        MEGA_CHECK(!shared->bins[rb]) << "restore into resident bin " << rb;
+        Reader rr(rbytes);
+        auto rbin = std::make_unique<BinT>(BinT::Deserialize(rr));
+        rbin->ForEachPendingTime([&](const T& t) {
+          shared->RegisterPending(t, rb);
+          hold(t);
+        });
+        shared->bins[rb] = std::move(rbin);
+      }
+      shared->restore_staging.clear();
+      shared->restore_staging.shrink_to_fit();
+    }
 
     // Chunk-by-chunk installation, shared with the unary S.
     s_state_in->ForEach([&](const T&, std::vector<BinChunk>& ms) {
@@ -923,7 +1001,23 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
 
   auto probe = timely::Probe(out_stream);
   *probe_slot = probe;
-  return {out_stream, probe};
+  StatefulOutput<R, T> result;
+  result.stream = out_stream;
+  result.probe = probe;
+  result.capture_bins =
+      [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& out) {
+        for (BinId b = 0; b < shared->bins.size(); ++b) {
+          if (!shared->bins[b]) continue;
+          Writer w;
+          shared->bins[b]->Serialize(w);
+          out.emplace_back(b, w.Take());
+        }
+      };
+  result.restore_bins =
+      [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>> staged) {
+        shared->restore_staging = std::move(staged);
+      };
+  return result;
 }
 
 /// Builds the simplest Megaphone interface (paper Listing 1,

@@ -13,6 +13,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
@@ -21,10 +22,35 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/time_util.hpp"
 
 namespace megaphone {
 namespace net {
+
+/// Exponential backoff with jitter for connect/handshake retry loops.
+/// Sleeps between cur/2 and cur, then doubles cur up to the cap — the
+/// jitter desynchronizes the P processes of a mesh hammering the same
+/// not-yet-listening endpoint (ISSUE 6 mesh hardening).
+class RetryBackoff {
+ public:
+  explicit RetryBackoff(uint64_t base_us = 1'000, uint64_t cap_us = 100'000)
+      : rng_(NowNanos() ^ 0x6261636b6f6666ULL),
+        cur_us_(base_us),
+        cap_us_(cap_us) {}
+
+  void Sleep() {
+    uint64_t half = cur_us_ / 2;
+    uint64_t us = half + rng_.NextBelow(half + 1);
+    ::usleep(static_cast<useconds_t>(us));
+    cur_us_ = std::min<uint64_t>(cur_us_ * 2, cap_us_);
+  }
+
+ private:
+  Xoshiro256 rng_;
+  uint64_t cur_us_;
+  uint64_t cap_us_;
+};
 
 struct Endpoint {
   std::string host;
@@ -102,6 +128,7 @@ inline uint16_t ListenerPort(int fd) {
 inline int ConnectWithRetry(const Endpoint& ep, uint64_t timeout_ms) {
   uint64_t deadline = NowNanos() + timeout_ms * 1'000'000;
   sockaddr_in addr = MakeAddr(ep.host, ep.port);
+  RetryBackoff backoff;
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     MEGA_CHECK_GE(fd, 0) << "socket: " << std::strerror(errno);
@@ -115,7 +142,7 @@ inline int ConnectWithRetry(const Endpoint& ep, uint64_t timeout_ms) {
     MEGA_CHECK(NowNanos() < deadline)
         << "connect to " << ep.host << ":" << ep.port
         << " timed out: " << std::strerror(errno);
-    ::usleep(2000);
+    backoff.Sleep();
   }
 }
 
@@ -226,6 +253,51 @@ inline bool ReadFull(int fd, uint8_t* data, size_t n,
     return false;
   }
   return true;
+}
+
+/// Outcome of ReadFullIdle, splitting the failure modes the mesh treats
+/// differently: orderly close vs stop-requested vs peer-silence deadline.
+enum class ReadStatus {
+  kOk,
+  kClosed,       // EOF or socket error
+  kStop,         // cooperative stop flag observed
+  kIdleTimeout,  // no bytes for longer than the idle budget
+};
+
+/// Like ReadFull, but fails with kIdleTimeout when the link has been
+/// silent (zero bytes received) for more than `idle_ns`. Silence is
+/// measured from `*last_rx_ns`, which the caller owns and which is
+/// refreshed on every byte received — so the budget spans calls and a
+/// heartbeat on any frame boundary keeps the link alive. `idle_ns == 0`
+/// disables the deadline.
+inline ReadStatus ReadFullIdle(int fd, uint8_t* data, size_t n,
+                               const std::atomic<bool>& stop,
+                               uint64_t idle_ns, uint64_t* last_rx_ns,
+                               bool* partial = nullptr) {
+  size_t off = 0;
+  if (partial != nullptr) *partial = false;
+  while (off < n) {
+    ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r > 0) {
+      off += static_cast<size_t>(r);
+      *last_rx_ns = NowNanos();
+      if (partial != nullptr) *partial = true;
+      continue;
+    }
+    if (r == 0) return ReadStatus::kClosed;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (stop.load(std::memory_order_relaxed)) return ReadStatus::kStop;
+      if (idle_ns != 0 && NowNanos() - *last_rx_ns > idle_ns) {
+        return ReadStatus::kIdleTimeout;
+      }
+      pollfd p{fd, POLLIN, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ReadStatus::kClosed;
+  }
+  return ReadStatus::kOk;
 }
 
 }  // namespace net

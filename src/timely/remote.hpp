@@ -20,11 +20,23 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/serde.hpp"
 
 namespace timely {
+
+/// Raised by worker loops when the transport reports a dead peer: the
+/// run cannot make progress (remote `produced` counts will never arrive)
+/// and aborts cleanly instead of spinning on a frontier that never
+/// advances. Callers that own checkpoints may catch this and recover.
+class PeerDownError : public std::runtime_error {
+ public:
+  explicit PeerDownError(const std::string& reason)
+      : std::runtime_error(reason.empty() ? "mesh peer down" : reason) {}
+};
 
 class NetRuntime {
  public:
@@ -35,6 +47,13 @@ class NetRuntime {
   /// Workers are split evenly: process p owns global worker indices
   /// [p * workers_per_process, (p + 1) * workers_per_process).
   virtual uint32_t workers_per_process() const = 0;
+
+  /// True once any peer has been declared down (heartbeat deadline, EOF
+  /// without goodbye, unframeable stream). Sticky. Worker step loops
+  /// poll this and raise PeerDownError.
+  virtual bool PeerFailed() const { return false; }
+  /// Human-readable reason for the first failure ("" while healthy).
+  virtual std::string FailureReason() const { return std::string(); }
 
   uint32_t ProcessOfWorker(uint32_t worker) const {
     return worker / workers_per_process();

@@ -44,6 +44,13 @@ struct Config {
   /// launcher binds kernel-assigned ports before forking); -1 = the mesh
   /// binds its own from `addresses`.
   int listen_fd = -1;
+  /// Mesh keepalive: idle-link heartbeat cadence, and the silence
+  /// deadline after which a peer is declared down (PeerDownError).
+  uint64_t heartbeat_ms = 500;
+  uint64_t peer_deadline_ms = 10'000;
+  /// Deterministic transport-fault schedule (tests and fault drills;
+  /// disabled by default). See src/fault/fault.hpp.
+  megaphone::fault::FaultSpec fault;
 };
 
 /// Runs `fn(worker)` on `config.workers` threads. After the closure
@@ -68,6 +75,9 @@ void Execute(const Config& config, Fn fn) {
     mopts.process_index = config.process_index;
     mopts.workers_per_process = config.workers;
     mopts.listen_fd = config.listen_fd;
+    mopts.heartbeat_ms = config.heartbeat_ms;
+    mopts.peer_deadline_ms = config.peer_deadline_ms;
+    mopts.fault = config.fault;
     if (config.addresses.empty()) {
       for (uint32_t p = 0; p < config.processes; ++p) {
         mopts.addresses.push_back(
@@ -110,6 +120,12 @@ void Execute(const Config& config, Fn fn) {
   }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
+  }
+  // A peer that died after the workers finished but before the goodbye
+  // exchange still aborts the run: "completed" against a half-dead mesh
+  // is not a clean result.
+  if (mesh && mesh->PeerFailed()) {
+    throw PeerDownError(mesh->FailureReason());
   }
 }
 

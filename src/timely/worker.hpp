@@ -335,11 +335,20 @@ class Worker {
     return active;
   }
 
-  /// Steps until `pred()` becomes true, with idle backoff.
+  /// Steps until `pred()` becomes true, with idle backoff. In a
+  /// multi-process run, a dead peer means the predicate may never turn
+  /// true (its progress counts are gone), so the loop polls the mesh
+  /// health flag and raises PeerDownError — a clean, reported abort
+  /// instead of a silent spin. The predicate is checked first: if the
+  /// goal was already reached, a concurrently detected failure does not
+  /// retract it.
   template <typename Pred>
   void StepUntil(Pred pred) {
     uint32_t idle = 0;
     while (!pred()) {
+      if (runtime_->net != nullptr && runtime_->net->PeerFailed()) {
+        throw PeerDownError(runtime_->net->FailureReason());
+      }
       if (Step()) {
         idle = 0;
       } else {

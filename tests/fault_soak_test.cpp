@@ -1,0 +1,127 @@
+// Injected-fault soak: with seeded drop / duplicate / delay / corrupt
+// faults on every link, the reliability layer must make the distributed
+// runs produce digests byte-identical to their fault-free references —
+// for the deterministic count workload and for NEXMark Q3, both with an
+// in-process dual mesh (two meshes in one test process) and with real
+// forked processes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "harness/harness.hpp"
+#include "harness/launcher.hpp"
+#include "harness/nexmark_workload.hpp"
+#include "net/net.hpp"
+
+namespace megaphone {
+namespace {
+
+fault::FaultSpec SoakFaults() {
+  fault::FaultSpec f;
+  f.seed = 11;
+  f.drop_p = 0.02;
+  f.dup_p = 0.02;
+  f.delay_p = 0.02;
+  f.delay_us = 100;
+  f.corrupt_p = 0.01;
+  return f;
+}
+
+DetCountConfig SoakCountConfig() {
+  DetCountConfig cfg;
+  cfg.total_workers = 4;
+  cfg.num_bins = 32;
+  cfg.domain = 1 << 10;
+  cfg.records_per_epoch = 2048;
+  cfg.epochs = 6;
+  cfg.migrate_at_epoch = 2;
+  cfg.strategy = MigrationStrategy::kFluid;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// Two meshes inside this test process (no fork): both "processes" run the
+// full count workload concurrently on threads, with faults injected on
+// every link. ASan/TSan see this variant, unlike the forked ones.
+TEST(FaultSoak, CountDigestUnchangedUnderFaultsInProcessMesh) {
+  DetCountConfig cfg = SoakCountConfig();
+  timely::Config single;
+  single.workers = 4;
+  DetCountResult ref = RunDeterministicCount(cfg, single);
+  ASSERT_TRUE(ref.root);
+
+  int l0 = net::BindListener("127.0.0.1", 0, 2);
+  int l1 = net::BindListener("127.0.0.1", 0, 2);
+  std::vector<std::string> addresses = {
+      "127.0.0.1:" + std::to_string(net::ListenerPort(l0)),
+      "127.0.0.1:" + std::to_string(net::ListenerPort(l1)),
+  };
+  auto tcfg = [&](uint32_t index, int fd) {
+    timely::Config tc;
+    tc.workers = 2;
+    tc.processes = 2;
+    tc.process_index = index;
+    tc.addresses = addresses;
+    tc.listen_fd = fd;
+    tc.fault = SoakFaults();
+    return tc;
+  };
+  DetCountResult r1;
+  std::thread peer([&] { r1 = RunDeterministicCount(cfg, tcfg(1, l1)); });
+  DetCountResult r0 = RunDeterministicCount(cfg, tcfg(0, l0));
+  peer.join();
+
+  ASSERT_TRUE(r0.root);
+  EXPECT_EQ(r0.digest, ref.digest)
+      << "faulty transport changed the count digest";
+  EXPECT_EQ(r0.distinct_keys, ref.distinct_keys);
+}
+
+TEST(FaultSoak, CountDigestUnchangedUnderFaultsForked) {
+  DetCountConfig cfg = SoakCountConfig();
+  timely::Config single;
+  single.workers = 4;
+  DetCountResult ref = RunDeterministicCount(cfg, single);
+  ASSERT_TRUE(ref.root);
+
+  DetCountResult out = RunForked(2, 2, [&](timely::Config tc) {
+    tc.fault = SoakFaults();
+    return RunDeterministicCount(cfg, tc);
+  });
+  ASSERT_TRUE(out.root);
+  EXPECT_EQ(out.digest, ref.digest);
+  EXPECT_EQ(out.distinct_keys, ref.distinct_keys);
+}
+
+TEST(FaultSoak, NexmarkQ3DigestUnchangedUnderFaultsForked) {
+  DetNexmarkConfig cfg;
+  cfg.total_workers = 4;
+  cfg.num_bins = 32;
+  cfg.events_per_epoch = 2000;
+  cfg.epochs = 5;
+  cfg.migrate_at_epoch = 2;
+  cfg.strategy = MigrationStrategy::kFluid;
+
+  timely::Config single;
+  single.workers = 4;
+  DetNexmarkResult ref = RunDeterministicNexmarkQ3(cfg, single);
+  ASSERT_TRUE(ref.root);
+
+  DetNexmarkResult out = RunForked(2, 2, [&](timely::Config tc) {
+    tc.fault = SoakFaults();
+    return RunDeterministicNexmarkQ3(cfg, tc);
+  });
+  ASSERT_TRUE(out.root);
+  EXPECT_EQ(out.digest, ref.digest)
+      << "faulty transport changed the NEXMark Q3 digest";
+  EXPECT_EQ(out.outputs, ref.outputs);
+}
+
+}  // namespace
+}  // namespace megaphone

@@ -1,0 +1,224 @@
+// Mesh robustness under injected transport faults and dead peers.
+//
+// The go-back-N reliability layer must heal seeded drop / duplicate /
+// delay / corrupt faults transparently (frames arrive exactly once, in
+// order, intact); a partitioned or killed peer must trip the heartbeat
+// deadline and surface as PeerFailed / PeerDownError on the survivor —
+// never as a hang in the lockstep wait or the goodbye barrier.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "harness/harness.hpp"
+#include "harness/launcher.hpp"
+#include "net/net.hpp"
+
+namespace megaphone {
+namespace {
+
+using net::BindListener;
+using net::ListenerPort;
+using net::MeshOptions;
+using net::NetMesh;
+
+// Two connected meshes in this process, with per-side option tweaks.
+struct FaultyMeshPair {
+  std::unique_ptr<NetMesh> m0;
+  std::unique_ptr<NetMesh> m1;
+
+  FaultyMeshPair(const fault::FaultSpec& fault0, const fault::FaultSpec& fault1,
+                 uint64_t heartbeat_ms = 25, uint64_t peer_deadline_ms = 10'000) {
+    int l0 = BindListener("127.0.0.1", 0, 2);
+    int l1 = BindListener("127.0.0.1", 0, 2);
+    std::vector<std::string> addresses = {
+        "127.0.0.1:" + std::to_string(ListenerPort(l0)),
+        "127.0.0.1:" + std::to_string(ListenerPort(l1)),
+    };
+    auto opts = [&](uint32_t index, int fd, const fault::FaultSpec& f) {
+      MeshOptions o;
+      o.processes = 2;
+      o.process_index = index;
+      o.workers_per_process = 2;
+      o.addresses = addresses;
+      o.listen_fd = fd;
+      o.heartbeat_ms = heartbeat_ms;
+      o.peer_deadline_ms = peer_deadline_ms;
+      o.fault = f;
+      return o;
+    };
+    std::thread t1([&] { m1 = std::make_unique<NetMesh>(opts(1, l1, fault1)); });
+    m0 = std::make_unique<NetMesh>(opts(0, l0, fault0));
+    t1.join();
+  }
+
+  void Shutdown(bool force = false) {
+    std::thread t([&] { m1->Shutdown(force); });
+    m0->Shutdown(force);
+    t.join();
+  }
+};
+
+TEST(MeshFault, FaultSpecParseAndFormat) {
+  fault::FaultSpec f = fault::FaultSpec::Parse(
+      "seed=7,drop=0.125,dup=0.25,delay=0.5,delay-us=50,corrupt=0.0625,"
+      "partition=100,kill=200");
+  EXPECT_EQ(f.seed, 7u);
+  EXPECT_EQ(f.drop_p, 0.125);
+  EXPECT_EQ(f.dup_p, 0.25);
+  EXPECT_EQ(f.delay_p, 0.5);
+  EXPECT_EQ(f.delay_us, 50u);
+  EXPECT_EQ(f.corrupt_p, 0.0625);
+  EXPECT_EQ(f.partition_after, 100u);
+  EXPECT_EQ(f.kill_after, 200u);
+  EXPECT_TRUE(f.Enabled());
+  EXPECT_FALSE(fault::FaultSpec{}.Enabled());
+  // ToString -> Parse is the identity on every knob.
+  fault::FaultSpec back = fault::FaultSpec::Parse(f.ToString());
+  EXPECT_EQ(back.seed, f.seed);
+  EXPECT_EQ(back.drop_p, f.drop_p);
+  EXPECT_EQ(back.kill_after, f.kill_after);
+}
+
+// Seeded drop + dup + delay + corrupt on both directions: every data and
+// progress frame still arrives exactly once, in order, with its original
+// bytes. (Retransmits and protocol frames are exempt from injection, so
+// healing is guaranteed to converge.)
+TEST(MeshFault, ReliabilityHealsDropDupCorruptDelay) {
+  fault::FaultSpec f;
+  f.seed = 3;
+  f.drop_p = 0.08;
+  f.dup_p = 0.08;
+  f.delay_p = 0.05;
+  f.delay_us = 100;
+  f.corrupt_p = 0.05;
+  FaultyMeshPair pair(f, f);
+
+  std::mutex mu;
+  std::vector<uint64_t> at_m1;
+  std::vector<uint64_t> at_m0;
+  pair.m1->RegisterDataHandler(0, 4, [&](uint32_t target, Reader& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(target, 2u);
+    at_m1.push_back(Decode<uint64_t>(r));
+  });
+  pair.m0->RegisterProgressHandler(1, [&](Reader& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    at_m0.push_back(Decode<uint64_t>(r));
+  });
+
+  constexpr uint64_t kFrames = 300;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    pair.m0->SendData(0, 4, /*target=*/2, EncodeToBytes(i));
+    pair.m1->BroadcastProgress(1, EncodeToBytes(i * 3));
+  }
+  // The goodbye exchange retransmits any outstanding tail before the
+  // final acks, so after Shutdown the streams are complete.
+  pair.Shutdown();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(at_m1.size(), kFrames);
+  ASSERT_EQ(at_m0.size(), kFrames);
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(at_m1[i], i);
+    EXPECT_EQ(at_m0[i], i * 3);
+  }
+  EXPECT_FALSE(pair.m0->PeerFailed());
+  EXPECT_FALSE(pair.m1->PeerFailed());
+}
+
+// After `partition_after` frames every write from m0 (heartbeats
+// included) is blackholed; both sides must conclude the link is dead
+// within the peer deadline — m1 by rx silence, m0 because the dead m1
+// stops talking back.
+TEST(MeshFault, PartitionTripsDeadlineBothSides) {
+  fault::FaultSpec f;
+  f.partition_after = 20;
+  FaultyMeshPair pair(f, fault::FaultSpec{}, /*heartbeat_ms=*/25,
+                      /*peer_deadline_ms=*/300);
+
+  for (uint64_t i = 0; i < 40; ++i) {
+    pair.m0->SendData(0, 1, /*target=*/2, EncodeToBytes(i));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((!pair.m0->PeerFailed() || !pair.m1->PeerFailed()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(pair.m1->PeerFailed()) << "rx-silent peer not detected";
+  EXPECT_TRUE(pair.m0->PeerFailed()) << "mute peer not detected";
+  EXPECT_FALSE(pair.m1->FailureReason().empty());
+  pair.Shutdown(/*force=*/true);
+}
+
+// Satellite regression: a peer that is SIGKILLed mid-run (no goodbye, no
+// flush) must produce a clean PeerDownError on the survivor — the mesh
+// shutdown used to hang waiting for the goodbye barrier.
+TEST(MeshFault, KilledPeerSurfacesPeerDownErrorNotHang) {
+  DetCountConfig cfg;
+  cfg.total_workers = 4;
+  cfg.num_bins = 32;
+  cfg.domain = 1 << 10;
+  cfg.records_per_epoch = 1024;
+  cfg.epochs = 8;
+  cfg.migrate_at_epoch = cfg.epochs;  // no migration; isolate the mesh
+  cfg.die_at_epoch = 3;
+  cfg.die_process = 1;
+
+  MultiProcess mp = LaunchLoopbackProcesses(2, 2);
+  mp.config.heartbeat_ms = 50;
+  mp.config.peer_deadline_ms = 2000;
+  if (!mp.IsRoot()) {
+    RunDeterministicCount(cfg, mp.config);
+    ::_exit(9);  // unreachable: the child dies inside the epoch loop
+  }
+  bool aborted = false;
+  try {
+    RunDeterministicCount(cfg, mp.config);
+  } catch (const timely::PeerDownError&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted) << "survivor completed against a dead mesh";
+  EXPECT_NE(WaitForChildren(mp.children), 0);
+}
+
+// kill_after: the injector SIGKILLs the process from inside the transport
+// write path — the crash lands at an arbitrary frame boundary, unlike the
+// epoch-aligned die_at_epoch. The survivor still reports cleanly.
+TEST(MeshFault, KillAfterFramesInjection) {
+  DetCountConfig cfg;
+  cfg.total_workers = 4;
+  cfg.num_bins = 32;
+  cfg.domain = 1 << 10;
+  cfg.records_per_epoch = 1024;
+  cfg.epochs = 10;
+  cfg.migrate_at_epoch = cfg.epochs;
+
+  MultiProcess mp = LaunchLoopbackProcesses(2, 2);
+  mp.config.heartbeat_ms = 50;
+  mp.config.peer_deadline_ms = 2000;
+  if (!mp.IsRoot()) {
+    mp.config.fault.kill_after = 100;
+    RunDeterministicCount(cfg, mp.config);
+    ::_exit(9);  // unreachable
+  }
+  bool aborted = false;
+  try {
+    RunDeterministicCount(cfg, mp.config);
+  } catch (const timely::PeerDownError&) {
+    aborted = true;
+  }
+  EXPECT_TRUE(aborted);
+  EXPECT_NE(WaitForChildren(mp.children), 0);
+}
+
+}  // namespace
+}  // namespace megaphone

@@ -56,6 +56,42 @@ TEST(NetFrame, BuildFrameLayout) {
   EXPECT_EQ(frame[kFrameHeaderBytes + 2], 3u);
 }
 
+// v2 header: sequence number and payload checksum round-trip, and the
+// header CRC rejects any single corrupted byte instead of delivering a
+// desynchronized frame.
+TEST(NetFrame, SequencedHeaderRoundTripAndCrc) {
+  std::vector<uint8_t> payload{9, 8, 7, 6};
+  auto frame = BuildFrame(FrameKind::kData, 3, DataKey(1, 2), payload,
+                          /*seq=*/12345);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 4);
+  FrameHeader h;
+  ASSERT_TRUE(TryDecodeFrameHeader(frame.data(), &h));
+  EXPECT_EQ(h.seq, 12345u);
+  EXPECT_EQ(h.payload_crc, FrameChecksum(payload.data(), payload.size()));
+  EXPECT_TRUE(IsSequencedKind(h.kind));
+
+  for (size_t i = 0; i < kFrameHeaderBytes; ++i) {
+    std::vector<uint8_t> bad = frame;
+    bad[i] ^= 0x40;
+    FrameHeader dummy;
+    EXPECT_FALSE(TryDecodeFrameHeader(bad.data(), &dummy))
+        << "corrupted header byte " << i << " passed the crc";
+  }
+}
+
+TEST(NetFrame, ProtocolFramesAreUnsequenced) {
+  std::vector<uint8_t> empty;
+  auto frame = BuildFrame(FrameKind::kHeartbeat, 0, 0, empty);
+  FrameHeader h;
+  ASSERT_TRUE(TryDecodeFrameHeader(frame.data(), &h));
+  EXPECT_EQ(h.seq, 0u);
+  EXPECT_FALSE(IsSequencedKind(h.kind));
+  EXPECT_FALSE(IsSequencedKind(static_cast<uint32_t>(FrameKind::kAck)));
+  EXPECT_FALSE(IsSequencedKind(static_cast<uint32_t>(FrameKind::kNack)));
+  EXPECT_FALSE(IsSequencedKind(static_cast<uint32_t>(FrameKind::kGoodbye)));
+  EXPECT_TRUE(IsSequencedKind(static_cast<uint32_t>(FrameKind::kProgress)));
+}
+
 // Builds a connected 2-process mesh on kernel-assigned loopback ports.
 // Constructors handshake with each other, so they run concurrently.
 struct MeshPair {

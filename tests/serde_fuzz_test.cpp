@@ -14,8 +14,11 @@
 
 #include "common/rng.hpp"
 #include "common/serde.hpp"
+#include "fault/fault.hpp"
 #include "megaphone/bin.hpp"
 #include "megaphone/control.hpp"
+#include "net/frame.hpp"
+#include "state/checkpoint.hpp"
 #include "timely/channel.hpp"
 #include "timely/progress.hpp"
 
@@ -86,6 +89,47 @@ WireBinaryBin RandomBinaryBin(Xoshiro256& rng) {
   return bin;
 }
 
+net::HeartbeatBody RandomHeartbeat(Xoshiro256& rng) {
+  net::HeartbeatBody hb;
+  hb.next_seq = rng.Next();
+  hb.ack = rng.Next();
+  return hb;
+}
+
+fault::FaultSpec RandomFaultSpec(Xoshiro256& rng) {
+  fault::FaultSpec f;
+  f.seed = rng.Next();
+  // Probabilities as exact dyadic rationals so ToString/Parse aside,
+  // the serde round-trip is bit-exact trivially.
+  f.drop_p = static_cast<double>(rng.NextBelow(1024)) / 1024.0;
+  f.dup_p = static_cast<double>(rng.NextBelow(1024)) / 1024.0;
+  f.delay_p = static_cast<double>(rng.NextBelow(1024)) / 1024.0;
+  f.delay_us = rng.NextBelow(10'000);
+  f.corrupt_p = static_cast<double>(rng.NextBelow(1024)) / 1024.0;
+  f.partition_after = rng.Next();
+  f.kill_after = rng.Next();
+  return f;
+}
+
+state::CheckpointSegment RandomSegment(Xoshiro256& rng) {
+  state::CheckpointSegment seg;
+  seg.epoch = rng.Next();
+  seg.assignment.resize(rng.NextBelow(64));
+  for (auto& w : seg.assignment) w = static_cast<uint32_t>(rng.NextBelow(16));
+  for (size_t i = rng.NextBelow(4); i > 0; --i) {
+    auto& bins = seg.workers[static_cast<uint32_t>(rng.NextBelow(8))];
+    for (size_t j = rng.NextBelow(4); j > 0; --j) {
+      std::vector<uint8_t> bytes(rng.NextBelow(32));
+      for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextBelow(256));
+      bins.emplace_back(static_cast<uint32_t>(rng.NextBelow(1 << 12)),
+                        std::move(bytes));
+    }
+  }
+  seg.collector.resize(rng.NextBelow(48));
+  for (auto& b : seg.collector) b = static_cast<uint8_t>(rng.NextBelow(256));
+  return seg;
+}
+
 // --- comparators (BinaryBin has no operator==) ----------------------------
 
 template <typename T>
@@ -123,6 +167,30 @@ void ExpectEqual(const BinChunk& a, const BinChunk& b) {
   EXPECT_EQ(a.seq, b.seq);
   EXPECT_EQ(a.last, b.last);
   EXPECT_EQ(a.bytes, b.bytes);
+}
+
+void ExpectEqual(const net::HeartbeatBody& a, const net::HeartbeatBody& b) {
+  EXPECT_EQ(a.next_seq, b.next_seq);
+  EXPECT_EQ(a.ack, b.ack);
+}
+
+void ExpectEqual(const fault::FaultSpec& a, const fault::FaultSpec& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.drop_p, b.drop_p);
+  EXPECT_EQ(a.dup_p, b.dup_p);
+  EXPECT_EQ(a.delay_p, b.delay_p);
+  EXPECT_EQ(a.delay_us, b.delay_us);
+  EXPECT_EQ(a.corrupt_p, b.corrupt_p);
+  EXPECT_EQ(a.partition_after, b.partition_after);
+  EXPECT_EQ(a.kill_after, b.kill_after);
+}
+
+void ExpectEqual(const state::CheckpointSegment& a,
+                 const state::CheckpointSegment& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.workers, b.workers);
+  EXPECT_EQ(a.collector, b.collector);
 }
 
 // The shared property: round-trips exactly, and every strict prefix of
@@ -180,6 +248,27 @@ TEST(SerdeFuzz, BinChunkRoundTripAndTruncation) {
     auto payload = RandomU64s(rng, 32);
     m.bytes = EncodeToBytes(payload);
     CheckRoundTripAndTruncation(m, i < 25);
+  }
+}
+
+TEST(SerdeFuzz, HeartbeatBodyRoundTripAndTruncation) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    CheckRoundTripAndTruncation(RandomHeartbeat(rng), true);
+  }
+}
+
+TEST(SerdeFuzz, FaultSpecRoundTripAndTruncation) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    CheckRoundTripAndTruncation(RandomFaultSpec(rng), i < 25);
+  }
+}
+
+TEST(SerdeFuzz, CheckpointSegmentRoundTripAndTruncation) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 60; ++i) {
+    CheckRoundTripAndTruncation(RandomSegment(rng), i < 15);
   }
 }
 

@@ -34,6 +34,15 @@ Three modes, combinable:
       absorb scheduler jitter on busy CI runners, not a real regression
       (a regression flips the sign by far more than the floor).
 
+  --recovery FILE
+      Fault-drill gate on a fig-23 report (megabench --fig=23): the
+      surviving process must have aborted cleanly (PeerDownError, not a
+      hang), at least one complete checkpoint must have existed before
+      the crash (checkpoint_epoch >= 1), the recovery run must have
+      resumed from it (resumed_at_epoch == checkpoint_epoch), its digest
+      must be byte-identical to the fault-free reference, and recovery_ms
+      must be a positive number.
+
 Exit status 0 iff every requested check passes.
 """
 
@@ -144,6 +153,40 @@ def check_max_latency(path: str, margin: float, floor_ms: float) -> None:
         sys.exit(1)
 
 
+def check_recovery(path: str) -> None:
+    """Gate a fig-23 fault-drill report: clean abort, real checkpoint,
+    resumed exactly there, byte-identical digest, positive recovery time."""
+    with open(path) as f:
+        report = json.load(f)
+    variants = {v.get("label"): v for v in report.get("variants", [])}
+    if "recovery" not in variants:
+        fail(f"{path}: missing variant recovery")
+    v = variants["recovery"]
+    for key in ("aborted_cleanly", "checkpoint_epoch", "recovery_ms",
+                "resumed_at_epoch", "digest_match"):
+        if key not in v:
+            fail(f"{path}: recovery variant lacks {key}")
+    if not v["aborted_cleanly"]:
+        fail(f"{path}: survivor did not abort with a clean PeerDownError")
+    epoch = int(v["checkpoint_epoch"])
+    if epoch < 1:
+        fail(f"{path}: no complete checkpoint existed before the crash")
+    if int(v["resumed_at_epoch"]) != epoch:
+        fail(
+            f"{path}: recovery resumed at epoch {v['resumed_at_epoch']}, "
+            f"checkpoint was at {epoch}"
+        )
+    recovery_ms = float(v["recovery_ms"])
+    if not recovery_ms > 0:
+        fail(f"{path}: recovery_ms = {recovery_ms} is not positive")
+    if not v["digest_match"]:
+        fail(f"{path}: post-recovery digest diverged from the fault-free run")
+    print(
+        f"bench_check: OK: {path}: recovered from epoch {epoch} in "
+        f"{recovery_ms:.1f} ms, digest byte-identical"
+    )
+
+
 def steady_rows(doc: dict, key: str) -> dict:
     rows = {}
     for row in doc.get(key, []):
@@ -194,16 +237,21 @@ def main() -> None:
     ap.add_argument("--max-latency-floor-ms", type=float, default=15.0,
                     help="absolute noise headroom added to the bound "
                          "(default 15 ms)")
+    ap.add_argument("--recovery",
+                    help="fig-23 kill-one-process fault-drill report to gate")
     args = ap.parse_args()
 
-    if not args.report and not args.steady and not args.max_latency:
-        ap.error("nothing to check: pass --report, --steady and/or "
-                 "--max-latency")
+    if (not args.report and not args.steady and not args.max_latency
+            and not args.recovery):
+        ap.error("nothing to check: pass --report, --steady, --max-latency "
+                 "and/or --recovery")
     for path in args.report:
         check_report(path)
     if args.max_latency:
         check_max_latency(args.max_latency, args.max_latency_margin,
                           args.max_latency_floor_ms)
+    if args.recovery:
+        check_recovery(args.recovery)
     if args.steady:
         if not args.baseline:
             ap.error("--steady requires --baseline")
