@@ -31,8 +31,10 @@ class OpenLoopPacer {
   }
 
   /// Number of records that should have been injected by wall time `now`.
+  /// Record 0's deadline is `start_nanos_` itself, so at `now == start`
+  /// exactly one record is already due.
   uint64_t RecordsDueBy(uint64_t now) const {
-    if (now <= start_nanos_) return 0;
+    if (now < start_nanos_) return 0;
     return static_cast<uint64_t>(static_cast<double>(now - start_nanos_) /
                                  nanos_per_record_) +
            1;
@@ -54,7 +56,8 @@ class ByteThrottle {
       : bytes_per_sec_(bytes_per_sec) {}
 
   /// Returns true if `n` bytes may be sent at time `now_nanos`; on success
-  /// the tokens are consumed. The bucket holds at most one second of credit.
+  /// the tokens are consumed. The bucket holds at most one second of credit
+  /// and starts full, so a burst up to `bytes_per_sec` passes immediately.
   bool Admit(uint64_t n, uint64_t now_nanos) {
     if (bytes_per_sec_ == 0) return true;
     Refill(now_nanos);
@@ -69,7 +72,15 @@ class ByteThrottle {
 
  private:
   void Refill(uint64_t now_nanos) {
-    if (last_nanos_ == 0) last_nanos_ = now_nanos;
+    // `primed_` (not a timestamp sentinel) marks the first refill: clocks
+    // may legitimately start at 0, so `last_nanos_ == 0` cannot mean
+    // "never refilled". The first call fills the bucket.
+    if (!primed_) {
+      primed_ = true;
+      last_nanos_ = now_nanos;
+      tokens_ = static_cast<double>(bytes_per_sec_);
+      return;
+    }
     double credit = static_cast<double>(now_nanos - last_nanos_) * 1e-9 *
                     static_cast<double>(bytes_per_sec_);
     tokens_ = std::min(tokens_ + credit, static_cast<double>(bytes_per_sec_));
@@ -79,6 +90,7 @@ class ByteThrottle {
   uint64_t bytes_per_sec_;
   double tokens_ = 0;
   uint64_t last_nanos_ = 0;
+  bool primed_ = false;
 };
 
 }  // namespace megaphone

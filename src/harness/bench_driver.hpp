@@ -49,6 +49,10 @@ constexpr int kFigChunk = 22;
 /// Figure id of the fault drill: kill one process mid-run, recover from
 /// the latest checkpoint, report recovery time and digest equality.
 constexpr int kFigRecovery = 23;
+/// Figure id of the hot-key-flip drill: uniform load flips mid-run onto
+/// one worker's bins; the closed-loop adaptive controller must detect
+/// the skew and rebalance without any fixed migration schedule.
+constexpr int kFigAdaptive = 24;
 
 /// --chunk-bytes=N / --chunk-step-bytes=N: state-chunk frame bound and
 /// per-step flow-control budget (0 = monolithic single-frame migration).
@@ -816,6 +820,129 @@ inline void RunFig22(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   }
 }
 
+// ---------------------------------------------- fig 24 (adaptive drill)
+
+/// Figure 24 (not in the paper — the closed-loop drill): key-count under
+/// uniform load until --flip_at_ms, when --flip-pct percent of records
+/// flip onto bins initially owned by worker 0 (a hot-key event). With
+/// --controller=adaptive the per-bin stats channel feeds worker 0's
+/// AdaptivePolicy, which detects the skew and rebalances on its own; the
+/// report carries the reaction time (flip -> first autonomously issued
+/// plan) and the post-rebalance p99, which must return to within 1.5x of
+/// the pre-flip p99 (tools/bench_check.py --adaptive gates exactly
+/// this). --controller=static runs the same flip with no controller, as
+/// the unmitigated baseline; --controller=all runs both.
+inline void RunFig24(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 256));
+  base.domain = flags.GetInt("domain", 1 << 22);
+  base.rate = flags.GetDouble("rate", 200'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 6000);
+  base.mode = CountMode::kKeyCount;
+  base.strategy = MigrationStrategy::kFluid;
+  base.batch_size = flags.GetInt("batch_size", 16);
+  base.chunk_bytes = ChunkBytesFromFlags(flags);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
+  base.flip_at_ms = flags.GetInt("flip_at_ms", base.duration_ms * 2 / 5);
+  base.flip_worker = static_cast<uint32_t>(flags.GetInt("flip_worker", 0));
+  base.flip_prob_pct = static_cast<uint32_t>(flags.GetInt("flip-pct", 90));
+  base.stats_every = flags.GetInt("stats-every", 50);  // 50 ms cadence
+  base.adaptive_opts.imbalance_threshold =
+      flags.GetDouble("imbalance", 1.25);
+  base.adaptive_opts.hysteresis = flags.GetDouble("hysteresis", 0.05);
+  // Cooldown is counted in epochs here (decision_every stays 1 and the
+  // bench passes real epoch numbers): 4 decision intervals.
+  base.adaptive_opts.cooldown_epochs =
+      flags.GetInt("cooldown-epochs", 4 * base.stats_every);
+
+  std::printf(
+      "# Figure 24: hot-key flip drill, key-count, domain=%llu rate=%.0f "
+      "workers=%u bins=%u flip_at=%llu ms (%u%% onto worker %u's bins)\n",
+      static_cast<unsigned long long>(base.domain), base.rate, base.workers,
+      base.num_bins, static_cast<unsigned long long>(base.flip_at_ms),
+      base.flip_prob_pct, base.flip_worker);
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("key-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("bins").Value(static_cast<uint64_t>(base.num_bins));
+  j.Key("flip_at_ms").Value(base.flip_at_ms);
+  j.Key("flip_prob_pct").Value(static_cast<uint64_t>(base.flip_prob_pct));
+  j.Key("stats_every_epochs").Value(base.stats_every);
+  j.Key("imbalance_threshold").Value(base.adaptive_opts.imbalance_threshold);
+  j.EndObject();
+
+  // Pools the fully-contained timeline buckets of [from_ns, to_ns) into
+  // one histogram — the pre/post-flip p99s come from the merged timeline,
+  // so every process's samples count.
+  auto pool = [](const Timeline& tl, uint64_t from_ns, uint64_t to_ns) {
+    Histogram h;
+    const auto& bk = tl.buckets();
+    for (size_t i = 0; i < bk.size(); ++i) {
+      uint64_t b0 = i * tl.bucket_ns();
+      if (b0 >= from_ns && b0 + tl.bucket_ns() <= to_ns) h.Merge(bk[i]);
+    }
+    return h;
+  };
+
+  const std::string want = flags.GetStr("controller", "adaptive");
+  struct Variant {
+    const char* label;
+    bool adaptive;
+  };
+  const Variant variants[] = {{"adaptive", true}, {"static", false}};
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    if (want != "all" && want != v.label) continue;
+    CountBenchConfig cfg = base;
+    cfg.adaptive = v.adaptive;
+    auto r = procs.RunCount(cfg);
+    if (!r.root) continue;
+
+    const uint64_t flip_ns = cfg.flip_at_ms * 1'000'000;
+    Histogram pre = pool(r.timeline, 0, flip_ns);
+    // Post-rebalance window: after the last policy-issued migration
+    // drained (static variant: right after the flip, unmitigated).
+    const uint64_t post_from =
+        r.rebalanced_sec > 0 ? static_cast<uint64_t>(r.rebalanced_sec * 1e9)
+                             : flip_ns;
+    Histogram post = pool(r.timeline, post_from, ~uint64_t{0});
+    double pre_p99 = static_cast<double>(pre.Quantile(0.99)) * 1e-6;
+    double post_p99 = static_cast<double>(post.Quantile(0.99)) * 1e-6;
+
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, cfg.num_bins, "bins", r.migrations);
+    std::printf("# %s: plans=%zu reaction=%.1f ms pre-flip p99=%.3f ms "
+                "post p99=%.3f ms\n\n",
+                v.label, r.plans_issued, r.reaction_ms, pre_p99, post_p99);
+
+    j.BeginObject();
+    j.Key("label").Value(v.label);
+    j.Key("strategy").Value(StrategyName(cfg.strategy));
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    j.Key("records_sent").Value(r.records_sent);
+    j.Key("achieved_rate_per_s")
+        .Value(r.duration_sec > 0
+                   ? static_cast<double>(r.records_sent) / r.duration_sec
+                   : 0.0);
+    j.Key("plans_issued").Value(static_cast<uint64_t>(r.plans_issued));
+    j.Key("reaction_ms").Value(r.reaction_ms);
+    j.Key("flip_sec").Value(r.flip_sec);
+    j.Key("rebalanced_sec").Value(r.rebalanced_sec);
+    benchjson::HistSummary(j, "pre_flip", pre);
+    benchjson::HistSummary(j, "post_rebalance", post);
+    benchjson::HistSummary(j, "steady", r.steady);
+    benchjson::Migrations(j, r.migrations);
+    benchjson::Timeline_(j, r.timeline);
+    j.EndObject();
+  }
+  j.EndArray();
+}
+
 // ------------------------------------------------- fig 23 (fault drill)
 
 /// Figure 23 (not in the paper — the fault drill): run the deterministic
@@ -998,7 +1125,11 @@ inline void BenchDriverUsage() {
       "megabench: unified paper-figure bench driver\n"
       "  --fig=N           figure to run (1, 5-20; 21 = Table 1;\n"
       "                    22 = chunked vs monolithic migration;\n"
-      "                    23 = kill-one-process recovery drill)\n"
+      "                    23 = kill-one-process recovery drill;\n"
+      "                    24 = hot-key-flip adaptive-controller drill)\n"
+      "  --controller=C    fig 24 variant: adaptive (default), static\n"
+      "                    (no controller), or all\n"
+      "  --flip_at_ms=T    fig 24: when the hot-key flip hits\n"
       "  --query=N         NEXMark query 1-8 (same as --fig=N+4)\n"
       "  --steady          closed-loop steady-throughput suite\n"
       "  --strategy=S      only run variant S (default: all)\n"
@@ -1035,7 +1166,7 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
   }
   const bool known = fig == 1 || (fig >= 5 && fig <= 20) ||
                      fig == kFigTable1 || fig == kFigChunk ||
-                     fig == kFigRecovery;
+                     fig == kFigRecovery || fig == kFigAdaptive;
   if (!known) {
     BenchDriverUsage();
     return 2;
@@ -1071,6 +1202,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
     RunFig22(procs, flags, j);
   } else if (fig == kFigRecovery) {
     RunRecovery(flags, j);
+  } else if (fig == kFigAdaptive) {
+    RunFig24(procs, flags, j);
   } else {
     RunTable01(flags, j);
   }

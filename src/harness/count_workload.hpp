@@ -78,6 +78,19 @@ struct CountBenchConfig {
   uint64_t seed = 1;
   bool sample_rss = false;
   uint64_t epoch_ns = 1'000'000;  // 1 ms epochs
+
+  /// Closed-loop adaptive control (megaphone modes only): every
+  /// `stats_every` epochs each worker ships its per-bin statistics to
+  /// global worker 0, which runs AdaptivePolicy and schedules the plans
+  /// it accepts — no fixed migration schedule required.
+  bool adaptive = false;
+  AdaptiveOptions adaptive_opts;
+  uint64_t stats_every = 50;  // epochs between reports/decisions
+  /// Hot-key flip drill: from `flip_at_ms` (0 = off), `flip_prob_pct`% of
+  /// injected records target bins initially owned by `flip_worker`.
+  uint64_t flip_at_ms = 0;
+  uint32_t flip_worker = 0;
+  uint32_t flip_prob_pct = 90;
 };
 
 struct CountBenchResult {
@@ -93,6 +106,16 @@ struct CountBenchResult {
   bool root = true;
   /// Per-process shards the merged metrics were pooled from (root only).
   std::vector<BenchShard> shards;
+
+  /// Adaptive-controller outcome (root only; -1 = not observed). The
+  /// reaction time runs from the hot-key flip to the first autonomously
+  /// scheduled plan; `rebalanced_sec` marks when the last migration the
+  /// policy issued finished draining.
+  double reaction_ms = -1;
+  double flip_sec = -1;
+  double rebalanced_sec = -1;
+  size_t plans_issued = 0;
+  std::vector<std::pair<uint64_t, Assignment>> plans;
 };
 
 namespace detail {
@@ -102,6 +125,43 @@ inline uint64_t CountKey(uint64_t seed, uint64_t idx, uint64_t domain) {
 }
 
 inline int Log2(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+/// Deterministically decides whether record `idx` is part of the hot-key
+/// skew (`pct` percent are, once the skew is active). Independent of the
+/// key hash so flipping the skew on never changes the cold keys.
+inline bool SkewedRecord(uint64_t seed, uint64_t idx, uint32_t pct) {
+  return HashMix64(~seed ^ (idx * 0xbf58476d1ce4e5b9ULL)) % 100 < pct;
+}
+
+/// A deterministic hot key for record `idx`: a key whose *hash* bin (the
+/// kHashCount / deterministic-harness routing, BinOf ∘ HashMix64) is
+/// initially owned by `hot_worker`. Rejection-sampled over reseeded
+/// CountKeys — 1/workers of draws hit, so 64 tries miss with probability
+/// (1-1/W)^64, negligible for any sane worker count; the last draw is
+/// kept regardless so the function stays total.
+inline uint64_t HotHashKey(uint64_t seed, uint64_t idx, uint64_t domain,
+                           uint32_t num_bins, uint32_t workers,
+                           uint32_t hot_worker) {
+  uint64_t k = 0;
+  for (uint64_t j = 0; j < 64; ++j) {
+    k = CountKey(seed ^ ((j + 1) * 0x94d049bb133111ebULL), idx, domain);
+    if (BinOf(HashMix64(k), num_bins) % workers == hot_worker) break;
+  }
+  return k;
+}
+
+/// A deterministic hot key for record `idx` under *key-range* binning
+/// (kKeyCount: bin = key / keys_per_bin): picks one of `hot_worker`'s
+/// initial bins and a uniform slot inside it. Exact, no rejection.
+inline uint64_t HotRangeKey(uint64_t seed, uint64_t idx, uint64_t domain,
+                            uint32_t num_bins, uint32_t workers,
+                            uint32_t hot_worker) {
+  uint64_t h = HashMix64(seed ^ (idx * 0x2545f4914f6cdd1dULL));
+  uint64_t keys_per_bin = domain / num_bins;
+  uint64_t n_hot = (num_bins - 1 - hot_worker) / workers + 1;
+  uint64_t bin = hot_worker + workers * (h % n_hot);
+  return bin * keys_per_bin + (h >> 32) % keys_per_bin;
+}
 
 }  // namespace detail
 
@@ -138,11 +198,16 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
       timely::Input<uint64_t, T> data;
       timely::ProbeHandle<T> probe;
       ShardChannel<T> rep;
+      StatsChannel<T> stats;  // adaptive runs only
+      std::function<void(BinStats&)> take_stats;
     };
     auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
       auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
       auto [data_in, data_stream] = timely::NewInput<uint64_t>(s);
       ShardChannel<T> rep = AddShardChannel(s);
+      StatsChannel<T> stats;
+      if (cfg.adaptive && !is_native) stats = AddStatsChannel(s);
+      std::function<void(BinStats&)> take_stats;
       timely::ProbeHandle<T> probe;
       Config mcfg;
       mcfg.num_bins = cfg.num_bins;
@@ -162,6 +227,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
               },
               mcfg);
           probe = out.probe;
+          take_stats = out.take_bin_stats;
           break;
         }
         case CountMode::kKeyCount: {
@@ -179,6 +245,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
               },
               mcfg);
           probe = out.probe;
+          take_stats = out.take_bin_stats;
           break;
         }
         case CountMode::kNativeHash: {
@@ -214,9 +281,10 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
           break;
         }
       }
-      return Handles{ctrl_in, data_in, probe, std::move(rep)};
+      return Handles{ctrl_in, data_in, probe, std::move(rep),
+                     std::move(stats), std::move(take_stats)};
     });
-    auto& [ctrl_in, data_in, probe, rep] = handles;
+    auto& [ctrl_in, data_in, probe, rep, stats, take_stats] = handles;
 
     typename MigrationController<T>::Options mopts;
     mopts.strategy = cfg.strategy;
@@ -252,6 +320,21 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
     Assignment current = MakeInitialAssignment(cfg.num_bins, cfg.workers);
     size_t next_mig = 0;
 
+    // Closed loop: reports land on (and plans come from) global worker 0.
+    const bool adaptive = cfg.adaptive && !is_native;
+    std::optional<AdaptiveController<T>> actrl;
+    if (adaptive && w.index() == 0) {
+      actrl.emplace(&controller, cfg.workers, current, cfg.adaptive_opts);
+    }
+    size_t ingested = 0;           // reports folded into the policy so far
+    uint64_t next_stats = cfg.stats_every;
+    const uint64_t flip_ns =
+        cfg.flip_at_ms ? start + cfg.flip_at_ms * 1'000'000 : UINT64_MAX;
+    const bool hash_bins = cfg.mode == CountMode::kHashCount ||
+                           cfg.mode == CountMode::kNativeHash;
+    double reaction_ms = -1;
+    double rebalanced_sec = -1;
+
     // Per-process measurement state, owned by the local root worker.
     Timeline timeline(250'000'000);
     Histogram per_record, steady;
@@ -280,15 +363,45 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
           current = cfg.migrations[next_mig].to;
           next_mig++;
         }
+        if (adaptive && e >= next_stats) {
+          if (actrl) {
+            auto& reps = *stats.reports;
+            for (; ingested < reps.size(); ++ingested) {
+              actrl->Ingest(reps[ingested]);
+            }
+            if (actrl->Step(e) && reaction_ms < 0 && now >= flip_ns) {
+              reaction_ms = static_cast<double>(now - flip_ns) * 1e-6;
+            }
+          }
+          BinStats bs;
+          take_stats(bs);
+          stats.Send(BinStatsReport::From(w.index(), e, std::move(bs)));
+          next_stats += cfg.stats_every;
+        }
         if (!is_native) controller.Advance(e, e + 1);
         data_in->AdvanceTo(e);
+        if (adaptive) stats.in->AdvanceTo(e);
         cur_epoch = e;
       }
       // Open loop: inject everything due by now, regardless of backlog.
       uint64_t due = pacer.RecordsDueBy(now);
       uint64_t injected = 0;
+      const bool flipped = now >= flip_ns;
       while (sent < due && injected < 65536) {
-        data_in->Send(detail::CountKey(cfg.seed, sent, cfg.domain));
+        uint64_t k;
+        if (flipped &&
+            detail::SkewedRecord(cfg.seed, sent, cfg.flip_prob_pct)) {
+          k = hash_bins
+                  ? detail::HotHashKey(cfg.seed, sent, cfg.domain,
+                                       cfg.num_bins, cfg.workers,
+                                       cfg.flip_worker)
+                  : detail::HotRangeKey(cfg.seed, sent, cfg.domain,
+                                        cfg.num_bins, cfg.workers,
+                                        cfg.flip_worker);
+        } else {
+          k = detail::CountKey(cfg.seed, sent, cfg.domain);
+        }
+        data_in->Send(k);
         sent += cfg.workers;
         injected++;
       }
@@ -340,6 +453,9 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
               chunk_counters().frames.load() - chunk_frames_before;
           mig_stats.back().chunk_bytes =
               chunk_counters().bytes.load() - chunk_bytes_before;
+          if (actrl && !actrl->plans().empty()) {
+            rebalanced_sec = static_cast<double>(now - start) * 1e-9;
+          }
         }
         was_migrating = migrating;
       }
@@ -348,6 +464,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
     total_sent += (sent - w.index()) / cfg.workers;
     if (!is_native) controller.Close(cur_epoch + 1);
     data_in->Close();
+    if (adaptive) stats.in->Close();
 
     if (w.IsLocalRoot()) {
       // Drain the backlog, acking the remaining epochs. probe.Done()
@@ -373,6 +490,9 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
             chunk_counters().frames.load() - chunk_frames_before;
         mig_stats.back().chunk_bytes =
             chunk_counters().bytes.load() - chunk_bytes_before;
+        if (actrl && !actrl->plans().empty()) {
+          rebalanced_sec = static_cast<double>(now - start) * 1e-9;
+        }
       }
       for (auto& ms : mig_stats) {
         ms.max_ms = static_cast<double>(timeline.MaxIn(
@@ -394,6 +514,15 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
         std::lock_guard<std::mutex> lock(result_mu);
         root_shards = rep.shards;
         result.rss_samples = std::move(rss);
+        if (actrl) {
+          result.reaction_ms = reaction_ms;
+          result.flip_sec = flip_ns == UINT64_MAX
+                                ? -1
+                                : static_cast<double>(flip_ns - start) * 1e-9;
+          result.rebalanced_sec = rebalanced_sec;
+          result.plans_issued = actrl->plans().size();
+          result.plans = actrl->plans();
+        }
       }
     } else {
       rep.in->Close();
@@ -465,6 +594,22 @@ struct DetCountConfig {
   /// disables). Used by the recovery tests and the recovery bench figure.
   uint64_t die_at_epoch = UINT64_MAX;
   uint32_t die_process = 1;
+
+  /// Closed-loop adaptive control: every epoch each worker ships its
+  /// per-bin stats to global worker 0, which runs AdaptivePolicy and
+  /// schedules the plans it accepts — instead of any fixed schedule
+  /// (`schedule` must be empty; migrate_at_epoch is ignored). The epoch
+  /// lockstep extends to the stats channel, so decisions — and therefore
+  /// the emitted control records and the digest — are identical at every
+  /// process split.
+  bool adaptive = false;
+  AdaptiveOptions adaptive_opts;
+  /// Deterministic hot-key skew: from `skew_from_epoch` on,
+  /// `skew_prob_pct`% of records target bins initially owned by
+  /// `skew_worker` (hash binning, like all records here).
+  uint64_t skew_from_epoch = UINT64_MAX;
+  uint32_t skew_worker = 0;
+  uint32_t skew_prob_pct = 90;
 };
 
 struct DetCountResult {
@@ -479,6 +624,12 @@ struct DetCountResult {
   uint64_t records_sent = 0;
   /// Epoch the run resumed from (0 = fresh run / no usable checkpoint).
   uint64_t start_epoch = 0;
+  /// Plans the adaptive controller emitted, in epoch order (root only).
+  /// Replaying them as `schedule` must reproduce `digest` byte-for-byte.
+  std::vector<std::pair<uint64_t, Assignment>> emitted_plans;
+  /// Final bin->worker assignment the adaptive controller converged to
+  /// (root only; the initial assignment when no plan was emitted).
+  Assignment final_assignment;
 };
 
 /// Runs the deterministic count workload under `tcfg` (whose
@@ -495,6 +646,10 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
   const uint32_t W = cfg.total_workers;
   MEGA_CHECK_EQ(tcfg.workers * std::max(1u, tcfg.processes), W);
   MEGA_CHECK((cfg.domain & (cfg.domain - 1)) == 0) << "domain: power of two";
+  MEGA_CHECK(!cfg.adaptive || cfg.schedule.empty())
+      << "adaptive and a fixed schedule are mutually exclusive";
+  MEGA_CHECK(!cfg.adaptive || cfg.checkpoint_dir.empty())
+      << "adaptive + checkpoint/restore is not supported";
 
   DetCountResult result;
   std::mutex result_mu;
@@ -536,6 +691,8 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       timely::ProbeHandle<T> cprobe;
       std::shared_ptr<std::map<uint64_t, uint64_t>> counts;
       std::function<void(state::BinSnapshot&)> capture;
+      StatsChannel<T> stats;  // adaptive runs only
+      std::function<void(BinStats&)> take_stats;
     };
     auto handles = w.Dataflow<T>([&](Scope<T>& s) -> Handles {
       auto [ctrl_in, ctrl_stream] = timely::NewInput<ControlInst>(s);
@@ -588,11 +745,15 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
           }
         });
       });
+      StatsChannel<T> stats;
+      if (cfg.adaptive) stats = AddStatsChannel(s);
       return Handles{ctrl_in, data_in, out.probe,
                      timely::Probe(collect_stream), counts,
-                     out.capture_bins};
+                     out.capture_bins, std::move(stats),
+                     out.take_bin_stats};
     });
-    auto& [ctrl_in, data_in, probe, cprobe, counts, capture] = handles;
+    auto& [ctrl_in, data_in, probe, cprobe, counts, capture, stats,
+           take_stats] = handles;
 
     typename MigrationController<T>::Options mopts;
     mopts.strategy = cfg.strategy;
@@ -601,14 +762,21 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     MigrationController<T> controller(ctrl_in, probe, w.index(), mopts);
 
     // The effective migration schedule: either the explicit one or the
-    // classic single initial->imbalanced step.
+    // classic single initial->imbalanced step. Adaptive runs schedule
+    // nothing up front — worker 0's policy decides as the run unfolds.
     std::vector<std::pair<uint64_t, Assignment>> schedule = cfg.schedule;
-    if (schedule.empty() && cfg.migrate_at_epoch < cfg.epochs) {
+    if (!cfg.adaptive && schedule.empty() &&
+        cfg.migrate_at_epoch < cfg.epochs) {
       schedule.emplace_back(cfg.migrate_at_epoch,
                             MakeImbalancedAssignment(cfg.num_bins, W));
     }
     Assignment current = MakeInitialAssignment(cfg.num_bins, W);
     size_t next_mig = 0;
+    std::optional<AdaptiveController<T>> actrl;
+    if (cfg.adaptive && w.index() == 0) {
+      actrl.emplace(&controller, W, current, cfg.adaptive_opts);
+    }
+    size_t ingested = 0;  // reports folded into the policy so far
     // Resuming from a checkpoint: migrations before the checkpoint epoch
     // are already reflected in the restored routing table — skip them,
     // and cross-check the replayed schedule against the checkpointed
@@ -643,12 +811,23 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
         current = schedule[next_mig].second;
         next_mig++;
       }
+      // Worker 0 decides on stats through epoch e-1 (all ingested — the
+      // stats-probe wait below ran before this epoch). Other workers
+      // schedule nothing: the control records they observe all originate
+      // from worker 0, which is what makes replaying the emitted plans
+      // as a fixed schedule byte-identical.
+      if (actrl) actrl->Step(e);
       controller.Advance(e, e + 1);
       batch.clear();
       for (uint64_t idx = e * cfg.records_per_epoch;
            idx < (e + 1) * cfg.records_per_epoch; ++idx) {
         if (idx % W == me) {
-          batch.push_back(detail::CountKey(cfg.seed, idx, cfg.domain));
+          batch.push_back(
+              e >= cfg.skew_from_epoch &&
+                      detail::SkewedRecord(cfg.seed, idx, cfg.skew_prob_pct)
+                  ? detail::HotHashKey(cfg.seed, idx, cfg.domain,
+                                       cfg.num_bins, W, cfg.skew_worker)
+                  : detail::CountKey(cfg.seed, idx, cfg.domain));
         }
       }
       sent += batch.size();
@@ -683,6 +862,23 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
         }
         ck->barrier.Wait();  // segment published before the next epoch
       }
+
+      // Stats phase: every worker ships its epoch-e bin stats, then waits
+      // until worker 0's collector has consumed all of epoch e — so the
+      // decision at e+1 sees exactly W reports, at every process split.
+      if (cfg.adaptive) {
+        BinStats bs;
+        take_stats(bs);
+        stats.Send(BinStatsReport::From(me, e, std::move(bs)));
+        stats.in->AdvanceTo(e + 1);
+        w.StepUntil([&] { return !stats.probe.LessThan(e + 1); });
+        if (actrl) {
+          auto& reps = *stats.reports;
+          for (; ingested < reps.size(); ++ingested) {
+            actrl->Ingest(reps[ingested]);
+          }
+        }
+      }
     }
 
     // Drain epochs (no data) until the migration has fully completed, so
@@ -697,6 +893,7 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
     size_t completed = controller.completed_batches();
     controller.Close(e + 1);
     data_in->Close();
+    if (cfg.adaptive) stats.in->Close();
 
     total_sent += sent;
     if (me == 0) {
@@ -704,6 +901,10 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       root_counts = counts;  // final after Execute's post-closure drain
       result.completed_batches = completed;
       result.root = true;
+      if (actrl) {
+        result.emitted_plans = actrl->plans();
+        result.final_assignment = actrl->current();
+      }
     }
   });
 

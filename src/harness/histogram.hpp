@@ -106,12 +106,27 @@ class Histogram {
   static Histogram Deserialize(Reader& r) {
     Histogram h;
     uint64_t nonzero = r.ReadCount(sizeof(uint32_t) + sizeof(uint64_t));
+    // Serialize emits buckets in strictly increasing index order; anything
+    // else (duplicates, reordering) is a corrupt shard, as is a decoded
+    // total that disagrees with the bucket counts — quantiles computed
+    // from such a histogram would be silently wrong.
+    int64_t prev = -1;
+    uint64_t sum = 0;
     for (uint64_t i = 0; i < nonzero; ++i) {
       uint32_t idx = Decode<uint32_t>(r);
       if (idx >= kBuckets) throw SerdeError("histogram: bucket out of range");
-      h.counts_[idx] = Decode<uint64_t>(r);
+      if (static_cast<int64_t>(idx) <= prev) {
+        throw SerdeError("histogram: buckets not strictly increasing");
+      }
+      prev = idx;
+      uint64_t count = Decode<uint64_t>(r);
+      h.counts_[idx] = count;
+      sum += count;
     }
     h.total_ = Decode<uint64_t>(r);
+    if (h.total_ != sum) {
+      throw SerdeError("histogram: total disagrees with bucket counts");
+    }
     h.max_ = Decode<uint64_t>(r);
     return h;
   }

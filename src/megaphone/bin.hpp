@@ -140,6 +140,17 @@ struct Bin {
     for (const auto& [t, _] : pending) fn(t);
   }
 
+  /// Cheap size estimate for load statistics: state entries (when the
+  /// backend exposes a count) plus pending records, scaled by the record
+  /// size. Relative weight only — the adaptive controller compares bins
+  /// against each other, it never bills exact bytes.
+  uint64_t ApproxBytes() const {
+    uint64_t n = 0;
+    if constexpr (requires { state.size(); }) n = state.size();
+    for (const auto& [t, v] : pending) n += v.size();
+    return n * sizeof(D);
+  }
+
   void Serialize(Writer& w) const {
     detail::SerializeParts(w, state, pending);
   }
@@ -176,6 +187,15 @@ struct BinaryBin {
   void ForEachPendingTime(Fn fn) const {
     for (const auto& [t, _] : pending1) fn(t);
     for (const auto& [t, _] : pending2) fn(t);
+  }
+
+  /// See Bin::ApproxBytes.
+  uint64_t ApproxBytes() const {
+    uint64_t n = 0;
+    if constexpr (requires { state.size(); }) n = state.size();
+    for (const auto& [t, v] : pending1) n += v.size();
+    for (const auto& [t, v] : pending2) n += v.size();
+    return n * ((sizeof(D1) + sizeof(D2)) / 2);
   }
 
   void Serialize(Writer& w) const {

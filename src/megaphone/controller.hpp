@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -71,7 +72,7 @@ class MigrationController {
     // passed its timestamp.
     if (in_flight_ && !probe_.LessEqual(*in_flight_)) {
       in_flight_.reset();
-      not_before_ = now + options_.gap;
+      not_before_ = SaturatingAdd(now, options_.gap);
       completed_batches_++;
     }
 
@@ -123,6 +124,16 @@ class MigrationController {
 
   static T TimestampTraits_Minimum() {
     return timely::TimestampTraits<T>::Minimum();
+  }
+
+  /// `now + gap` with saturation: a gap near the epoch type's max must pin
+  /// `not_before_` at max ("never again"), not wrap around and issue the
+  /// next batch immediately.
+  static T SaturatingAdd(const T& now, const T& gap) {
+    if (now > std::numeric_limits<T>::max() - gap) {
+      return std::numeric_limits<T>::max();
+    }
+    return now + gap;
   }
 };
 

@@ -3,6 +3,7 @@
 // implemented as a library over the timely engine in src/timely/.
 #pragma once
 
+#include "megaphone/adaptive.hpp"    // IWYU pragma: export
 #include "megaphone/bin.hpp"         // IWYU pragma: export
 #include "megaphone/control.hpp"     // IWYU pragma: export
 #include "megaphone/controller.hpp"  // IWYU pragma: export

@@ -168,6 +168,17 @@ struct SelfInbox {
   }
 };
 
+/// Per-bin load statistics snapshot taken from one worker's S instance:
+/// the raw input to the adaptive migration controller (see adaptive.hpp).
+/// `records` counts records applied per bin since the previous snapshot
+/// (and resets on take); `state_bytes` and `resident` describe the bins
+/// currently hosted by this worker.
+struct BinStats {
+  std::vector<uint64_t> records;      // applied per bin since last take
+  std::vector<uint64_t> state_bytes;  // approx bytes per resident bin
+  std::vector<uint8_t> resident;      // 1 if the bin is hosted here
+};
+
 /// Result of constructing a stateful operator: its output stream plus a
 /// probe on the S output frontier. The probe is what controllers use to
 /// await migration completion ("the migration at time t has completed once
@@ -176,6 +187,11 @@ template <typename R, typename T>
 struct StatefulOutput {
   timely::Stream<R, T> stream;
   timely::ProbeHandle<T> probe;
+
+  /// Snapshots this worker's per-bin load statistics into `out` and resets
+  /// the applied-record counters. Call from the worker's own driver loop
+  /// (same thread as S, like the checkpoint hooks below).
+  std::function<void(BinStats&)> take_bin_stats;
 
   /// Checkpoint hooks over this worker's bin container. `capture_bins`
   /// appends every resident bin as (bin id, whole-value serialization) —
@@ -464,8 +480,10 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
     std::vector<BinId> bins_scratch;
     std::vector<D> recs_scratch;  // bins with only post-dated records
     std::map<BinId, detail::AbsorbingBin<BinT>> absorbing;
+    std::vector<uint64_t> records_applied;  // per bin, since last stats take
   };
   auto ss = std::make_shared<SState>();
+  ss->records_applied.assign(num_bins, 0);
 
   sb.Build([=](OpCtx<T>& ctx) {
     auto hold = [&](const T& t) {
@@ -583,6 +601,7 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
                        std::make_move_iterator(pf->second.end()));
           slot->pending.erase(pf);
         }
+        ss->records_applied[b] += recs->size();
         detail::SchedulerImpl<BinT, D, T, &BinT::pending> sched(
             shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
         fold(*t, slot->user_state(), *recs,
@@ -627,6 +646,17 @@ StatefulOutput<R, T> Unary(timely::Stream<ControlInst, T> control,
   StatefulOutput<R, T> result;
   result.stream = out_stream;
   result.probe = probe;
+  result.take_bin_stats = [shared, ss, num_bins](BinStats& out) {
+    out.records = std::move(ss->records_applied);
+    ss->records_applied.assign(num_bins, 0);
+    out.state_bytes.assign(num_bins, 0);
+    out.resident.assign(num_bins, 0);
+    for (BinId b = 0; b < shared->bins.size(); ++b) {
+      if (!shared->bins[b]) continue;
+      out.resident[b] = 1;
+      out.state_bytes[b] = shared->bins[b]->ApproxBytes();
+    }
+  };
   result.capture_bins =
       [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& out) {
         for (BinId b = 0; b < shared->bins.size(); ++b) {
@@ -822,8 +852,10 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
     std::vector<D1> recs1_scratch;
     std::vector<D2> recs2_scratch;
     std::map<BinId, detail::AbsorbingBin<BinT>> absorbing;
+    std::vector<uint64_t> records_applied;  // per bin, since last stats take
   };
   auto ss = std::make_shared<SState>();
+  ss->records_applied.assign(num_bins, 0);
 
   sb.Build([=](OpCtx<T>& ctx) {
     auto hold = [&](const T& t) {
@@ -950,6 +982,7 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
         };
         move_pending(slot->pending1, *recs1);
         move_pending(slot->pending2, *recs2);
+        ss->records_applied[b] += recs1->size() + recs2->size();
         detail::SchedulerImpl<BinT, D1, T, &BinT::pending1> sched1(
             shared.get(), slot.get(), b, &*t, &ctx, &ss->held);
         detail::SchedulerImpl<BinT, D2, T, &BinT::pending2> sched2(
@@ -1004,6 +1037,17 @@ StatefulOutput<R, T> Binary(timely::Stream<ControlInst, T> control,
   StatefulOutput<R, T> result;
   result.stream = out_stream;
   result.probe = probe;
+  result.take_bin_stats = [shared, ss, num_bins](BinStats& out) {
+    out.records = std::move(ss->records_applied);
+    ss->records_applied.assign(num_bins, 0);
+    out.state_bytes.assign(num_bins, 0);
+    out.resident.assign(num_bins, 0);
+    for (BinId b = 0; b < shared->bins.size(); ++b) {
+      if (!shared->bins[b]) continue;
+      out.resident[b] = 1;
+      out.state_bytes[b] = shared->bins[b]->ApproxBytes();
+    }
+  };
   result.capture_bins =
       [shared](std::vector<std::pair<uint32_t, std::vector<uint8_t>>>& out) {
         for (BinId b = 0; b < shared->bins.size(); ++b) {

@@ -196,10 +196,20 @@ TEST(Pacer, DeadlinesAreEvenlySpaced) {
 
 TEST(Pacer, RecordsDueIsOpenLoop) {
   OpenLoopPacer p(1000.0, 0);  // 1ms per record
-  EXPECT_EQ(p.RecordsDueBy(0), 0u);
+  EXPECT_EQ(p.RecordsDueBy(0), 1u);          // record 0's deadline is t=0
   EXPECT_EQ(p.RecordsDueBy(1'000'000), 2u);  // records 0 and 1 due
   // A stall does not reduce the due count: the backlog accumulates.
   EXPECT_EQ(p.RecordsDueBy(10'000'000), 11u);
+}
+
+TEST(Pacer, FirstRecordDueExactlyAtStart) {
+  // DeadlineFor(0) == start, so the due count must flip 0 -> 1 exactly at
+  // the start instant, not one poll later.
+  OpenLoopPacer p(1000.0, 5'000'000);
+  EXPECT_EQ(p.RecordsDueBy(4'999'999), 0u);
+  EXPECT_EQ(p.RecordsDueBy(5'000'000), 1u);
+  EXPECT_EQ(p.RecordsDueBy(5'000'001), 1u);
+  EXPECT_EQ(p.DeadlineFor(0), p.start_nanos());
 }
 
 TEST(Throttle, DisabledAdmitsEverything) {
@@ -210,19 +220,28 @@ TEST(Throttle, DisabledAdmitsEverything) {
 
 TEST(Throttle, EnforcesRate) {
   ByteThrottle t(1000);  // 1000 B/s
-  uint64_t now = 1;      // nonzero so refill baseline is set
-  EXPECT_FALSE(t.Admit(600, now));  // no credit accumulated yet
-  now += 500'000'000;               // +0.5s -> 500 bytes of credit
-  EXPECT_FALSE(t.Admit(600, now));
-  now += 200'000'000;               // +0.2s -> 700 bytes total
+  uint64_t now = 1;
+  EXPECT_TRUE(t.Admit(600, now));   // bucket starts full: 1000 B of credit
+  EXPECT_FALSE(t.Admit(600, now));  // only 400 left
+  now += 500'000'000;               // +0.5s -> 400 + 500 = 900 bytes
   EXPECT_TRUE(t.Admit(600, now));
-  EXPECT_FALSE(t.Admit(600, now));  // only ~100 left
+  now += 200'000'000;               // +0.2s -> 300 + 200 = 500 bytes
+  EXPECT_FALSE(t.Admit(600, now));
+}
+
+TEST(Throttle, FirstAdmitAtTimeZeroGetsFullBucket) {
+  // Clocks may legitimately start at 0: the first Admit must still see a
+  // full bucket (the old sentinel conflated now==0 with "never refilled").
+  ByteThrottle t(1000);
+  EXPECT_TRUE(t.Admit(1000, 0));
+  EXPECT_FALSE(t.Admit(1, 0));  // drained, and no time has passed
+  EXPECT_TRUE(t.Admit(1, 1'000'000));  // 1 ms -> 1 byte of credit
 }
 
 TEST(Throttle, CreditCapsAtOneSecond) {
   ByteThrottle t(1000);
   uint64_t now = 1;
-  t.Admit(0, now);
+  EXPECT_TRUE(t.Admit(1000, now));  // drain the initial full bucket
   now += 60ULL * 1'000'000'000;  // one minute idle
   EXPECT_TRUE(t.Admit(1000, now));
   EXPECT_FALSE(t.Admit(500, now));  // cap was 1s worth, not 60s

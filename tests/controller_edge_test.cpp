@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -132,6 +133,42 @@ TEST(ControllerEdge, GapIsEnforcedBetweenBatches) {
     controller.Close(6);
     rig.sim->Close();
   });
+}
+
+TEST(ControllerEdge, HugeGapSaturatesInsteadOfWrapping) {
+  // A gap near the epoch type's max must pin not_before_ at max — the old
+  // `now + gap` wrapped around, making the next batch due immediately.
+  std::shared_ptr<uint64_t> seen;  // read after Execute fully drains
+  timely::Execute(timely::Config{1}, [&](Worker& w) {
+    typename MigrationController<T>::Options opts;
+    opts.gap = std::numeric_limits<T>::max() - 1;
+    auto rig = w.Dataflow<T>(BuildRig);
+    MigrationController<T> controller(rig.ctrl, rig.probe, w.index(), opts);
+    controller.Migrate(FluidBatches(2));
+
+    controller.Advance(0, 1);  // issues batch 0
+    EXPECT_EQ(controller.queued_batches(), 1u);
+
+    rig.sim->AdvanceTo(3);     // batch 0 completes...
+    controller.Advance(3, 4);  // ...3 + (max-1) must saturate, not wrap
+    EXPECT_EQ(controller.completed_batches(), 1u);
+    EXPECT_EQ(controller.queued_batches(), 1u);
+    EXPECT_FALSE(controller.in_flight_time().has_value());
+
+    for (uint64_t e = 4; e <= 24; ++e) {  // the gap never elapses
+      controller.Advance(e, e + 1);
+      w.Step();
+      EXPECT_EQ(controller.queued_batches(), 1u)
+          << "gap wrapped: batch issued at epoch " << e;
+      EXPECT_FALSE(controller.in_flight_time().has_value());
+    }
+
+    controller.Close(25);  // the held-back batch still flushes on Close
+    EXPECT_EQ(controller.queued_batches(), 0u);
+    rig.sim->Close();
+    seen = rig.ctrl_records;
+  });
+  EXPECT_EQ(*seen, 2u);
 }
 
 TEST(ControllerEdge, CloseFlushesQueuedBatches) {

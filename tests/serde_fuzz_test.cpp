@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "common/serde.hpp"
 #include "fault/fault.hpp"
+#include "harness/histogram.hpp"
 #include "megaphone/bin.hpp"
 #include "megaphone/control.hpp"
 #include "net/frame.hpp"
@@ -111,6 +112,14 @@ fault::FaultSpec RandomFaultSpec(Xoshiro256& rng) {
   return f;
 }
 
+Histogram RandomHistogram(Xoshiro256& rng) {
+  Histogram h;
+  for (size_t i = rng.NextBelow(64); i > 0; --i) {
+    h.Add(rng.Next() >> rng.NextBelow(64), 1 + rng.NextBelow(8));
+  }
+  return h;
+}
+
 state::CheckpointSegment RandomSegment(Xoshiro256& rng) {
   state::CheckpointSegment seg;
   seg.epoch = rng.Next();
@@ -183,6 +192,12 @@ void ExpectEqual(const fault::FaultSpec& a, const fault::FaultSpec& b) {
   EXPECT_EQ(a.corrupt_p, b.corrupt_p);
   EXPECT_EQ(a.partition_after, b.partition_after);
   EXPECT_EQ(a.kill_after, b.kill_after);
+}
+
+void ExpectEqual(const Histogram& a, const Histogram& b) {
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(EncodeToBytes(a), EncodeToBytes(b));
 }
 
 void ExpectEqual(const state::CheckpointSegment& a,
@@ -270,6 +285,52 @@ TEST(SerdeFuzz, CheckpointSegmentRoundTripAndTruncation) {
   for (int i = 0; i < 60; ++i) {
     CheckRoundTripAndTruncation(RandomSegment(rng), i < 15);
   }
+}
+
+TEST(SerdeFuzz, HistogramRoundTripAndTruncation) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    CheckRoundTripAndTruncation(RandomHistogram(rng), i < 25);
+  }
+}
+
+// Histogram shards cross process boundaries; a corrupt shard must fail
+// loudly instead of yielding silently wrong quantiles. The encodings below
+// are hand-built around the sparse (index, count)* total max wire format.
+TEST(SerdeFuzz, HistogramRejectsInconsistentEncodings) {
+  auto encode = [](std::vector<std::pair<uint32_t, uint64_t>> entries,
+                   uint64_t total, uint64_t max) {
+    Writer w;
+    Encode<uint64_t>(w, entries.size());
+    for (auto& [idx, count] : entries) {
+      Encode(w, idx);
+      Encode(w, count);
+    }
+    Encode(w, total);
+    Encode(w, max);
+    return w.Take();
+  };
+
+  // A well-formed encoding still decodes.
+  auto ok = encode({{3, 5}, {10, 7}}, 12, 100);
+  Histogram h = DecodeFromBytes<Histogram>(ok);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.max(), 100u);
+
+  // Duplicate bucket index.
+  EXPECT_THROW(DecodeFromBytes<Histogram>(encode({{3, 5}, {3, 7}}, 12, 100)),
+               SerdeError);
+  // Unsorted (decreasing) bucket indices.
+  EXPECT_THROW(DecodeFromBytes<Histogram>(encode({{10, 7}, {3, 5}}, 12, 100)),
+               SerdeError);
+  // Decoded total disagrees with the sum of the counts.
+  EXPECT_THROW(DecodeFromBytes<Histogram>(encode({{3, 5}, {10, 7}}, 13, 100)),
+               SerdeError);
+  // Bucket index out of range.
+  EXPECT_THROW(
+      DecodeFromBytes<Histogram>(
+          encode({{static_cast<uint32_t>(Histogram::kBuckets), 5}}, 5, 100)),
+      SerdeError);
 }
 
 // Chunked extraction/absorption of a randomized BinaryBin must rebuild an

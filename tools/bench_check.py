@@ -43,6 +43,15 @@ Three modes, combinable:
       must be byte-identical to the fault-free reference, and recovery_ms
       must be a positive number.
 
+  --adaptive FILE [--adaptive-margin M] [--adaptive-floor-ms F]
+      Hot-key-flip gate on a fig-24 report (megabench --fig=24
+      --controller=adaptive): the adaptive variant must have issued at
+      least one rebalance plan with no fixed schedule, reacted after the
+      flip (reaction_ms > 0), and its post-rebalance p99 must sit within
+      max(pre-flip p99 * (1 + M), pre-flip p99 + F) — M defaults to 0.5
+      (the paper-style "within 1.5x" criterion) and F to 20 ms of
+      absolute noise headroom for busy CI runners.
+
 Exit status 0 iff every requested check passes.
 """
 
@@ -187,6 +196,51 @@ def check_recovery(path: str) -> None:
     )
 
 
+def check_adaptive(path: str, margin: float, floor_ms: float) -> None:
+    """Gate a fig-24 hot-key-flip report: the adaptive controller must
+    have reacted on its own and restored latency after the flip."""
+    with open(path) as f:
+        report = json.load(f)
+    variants = {v.get("label"): v for v in report.get("variants", [])}
+    if "adaptive" not in variants:
+        fail(f"{path}: missing variant adaptive")
+    v = variants["adaptive"]
+    for key in ("plans_issued", "reaction_ms", "pre_flip", "post_rebalance",
+                "migrations", "timeline", "achieved_rate_per_s"):
+        if key not in v:
+            fail(f"{path}: adaptive variant lacks {key}")
+    for summary in ("pre_flip", "post_rebalance"):
+        for key in ("p50_ms", "p99_ms", "max_ms", "samples"):
+            if key not in v[summary]:
+                fail(f"{path}: adaptive {summary} summary lacks {key}")
+        if int(v[summary]["samples"]) <= 0:
+            fail(f"{path}: adaptive {summary} window has no samples")
+    plans = int(v["plans_issued"])
+    if plans < 1:
+        fail(f"{path}: adaptive controller never issued a plan")
+    if not v["migrations"]:
+        fail(f"{path}: plans were issued but no migration window closed")
+    reaction_ms = float(v["reaction_ms"])
+    if not reaction_ms > 0:
+        fail(f"{path}: reaction_ms = {reaction_ms} — the controller did "
+             f"not react after the flip")
+
+    pre_ms = float(v["pre_flip"]["p99_ms"])
+    post_ms = float(v["post_rebalance"]["p99_ms"])
+    # Same shape as the fig-22 gate: relative margin plus an absolute
+    # floor, because on quiet smoke configs the pre-flip p99 is a few ms
+    # and a pure ratio leaves less headroom than one scheduler stall.
+    bound = max(pre_ms * (1.0 + margin), pre_ms + floor_ms)
+    status = "OK" if post_ms <= bound else "FAIL"
+    print(
+        f"bench_check: {status}: {path}: post-rebalance p99 {post_ms:.3f} ms "
+        f"vs pre-flip {pre_ms:.3f} ms (bound {bound:.3f} ms, margin "
+        f"{margin}); {plans} plan(s), reaction {reaction_ms:.1f} ms"
+    )
+    if post_ms > bound:
+        sys.exit(1)
+
+
 def steady_rows(doc: dict, key: str) -> dict:
     rows = {}
     for row in doc.get(key, []):
@@ -239,12 +293,21 @@ def main() -> None:
                          "(default 15 ms)")
     ap.add_argument("--recovery",
                     help="fig-23 kill-one-process fault-drill report to gate")
+    ap.add_argument("--adaptive",
+                    help="fig-24 hot-key-flip adaptive-controller report "
+                         "to gate")
+    ap.add_argument("--adaptive-margin", type=float, default=0.5,
+                    help="post-rebalance p99 may exceed pre-flip p99 by "
+                         "this fraction (default 0.5, i.e. within 1.5x)")
+    ap.add_argument("--adaptive-floor-ms", type=float, default=20.0,
+                    help="absolute noise headroom added to the adaptive "
+                         "bound (default 20 ms)")
     args = ap.parse_args()
 
     if (not args.report and not args.steady and not args.max_latency
-            and not args.recovery):
-        ap.error("nothing to check: pass --report, --steady, --max-latency "
-                 "and/or --recovery")
+            and not args.recovery and not args.adaptive):
+        ap.error("nothing to check: pass --report, --steady, --max-latency, "
+                 "--recovery and/or --adaptive")
     for path in args.report:
         check_report(path)
     if args.max_latency:
@@ -252,6 +315,9 @@ def main() -> None:
                           args.max_latency_floor_ms)
     if args.recovery:
         check_recovery(args.recovery)
+    if args.adaptive:
+        check_adaptive(args.adaptive, args.adaptive_margin,
+                       args.adaptive_floor_ms)
     if args.steady:
         if not args.baseline:
             ap.error("--steady requires --baseline")
