@@ -23,13 +23,18 @@
 
 #include <stdlib.h>
 #include <unistd.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -53,6 +58,11 @@ constexpr int kFigRecovery = 23;
 /// one worker's bins; the closed-loop adaptive controller must detect
 /// the skew and rebalance without any fixed migration schedule.
 constexpr int kFigAdaptive = 24;
+/// Figure id of the spill drill: an RSS-bounded count run whose total
+/// state exceeds the memory cap several times over — the spill-to-disk
+/// LogState backend must complete it (chunked migration included) under
+/// the cap, where the in-memory MapState baseline cannot.
+constexpr int kFigSpill = 25;
 
 /// --chunk-bytes=N / --chunk-step-bytes=N: state-chunk frame bound and
 /// per-step flow-control budget (0 = monolithic single-frame migration).
@@ -93,6 +103,7 @@ class BenchProcs {
 
   CountBenchResult RunCount(const CountBenchConfig& cfg) {
     MEGA_CHECK_EQ(cfg.workers, total_workers());
+    TrimHeap();
     if (manual_) return RunCountBench(cfg, manual_cfg_);
     if (processes_ <= 1) return RunCountBench(cfg);
     return RunForked(processes_, workers_, [&](timely::Config tc) {
@@ -103,6 +114,7 @@ class BenchProcs {
 
   NexmarkBenchResult RunNexmark(const NexmarkBenchConfig& cfg) {
     MEGA_CHECK_EQ(cfg.workers, total_workers());
+    TrimHeap();
     if (manual_) return RunNexmarkBench(cfg, manual_cfg_);
     if (processes_ <= 1) return RunNexmarkBench(cfg);
     return RunForked(processes_, workers_, [&](timely::Config tc) {
@@ -112,6 +124,16 @@ class BenchProcs {
   }
 
  private:
+  /// The driver process is worker 0 of every forked run, so one
+  /// variant's allocator high-water would pollute the next variant's
+  /// RSS samples (glibc keeps freed pages resident). Return them to the
+  /// OS before each run; decisive for the fig-25 RSS-cap comparison.
+  static void TrimHeap() {
+#if defined(__GLIBC__)
+    ::malloc_trim(0);
+#endif
+  }
+
   uint32_t processes_;
   uint32_t workers_;
   bool manual_;
@@ -178,6 +200,23 @@ inline void Migrations(JsonWriter& j,
   }
   j.EndArray();
   j.Key("max_latency_during_migration_ms").Value(overall);
+}
+
+/// Per-process RSS samples pooled on one time axis, plus the peak. Every
+/// figure report carries memory now, not just the paper's Fig. 20 — the
+/// spill backend's RSS-bound gate reads `peak_rss_bytes`.
+inline void Rss_(JsonWriter& j, const std::vector<RssSample>& rss) {
+  uint64_t peak = 0;
+  j.Key("rss").BeginArray();
+  for (const auto& [t, bytes] : rss) {
+    j.BeginArray();
+    j.Value(t);
+    j.Value(bytes);
+    j.EndArray();
+    peak = std::max(peak, bytes);
+  }
+  j.EndArray();
+  j.Key("peak_rss_bytes").Value(peak);
 }
 
 }  // namespace benchjson
@@ -287,6 +326,7 @@ inline void RunFig01(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
     benchjson::HistSummary(j, "steady", r.steady);
     benchjson::Migrations(j, r.migrations);
     benchjson::Timeline_(j, r.timeline);
+    benchjson::Rss_(j, r.rss_samples);
     j.EndObject();
   }
   j.EndArray();
@@ -382,6 +422,7 @@ inline void RunNexmarkFig(BenchProcs& procs, const Flags& flags, int q,
     benchjson::HistSummary(j, "steady", r.steady);
     benchjson::Migrations(j, r.migrations);
     benchjson::Timeline_(j, r.timeline);
+    benchjson::Rss_(j, r.rss_samples);
     j.EndObject();
   }
   if (with_native && NativeEnabled(flags)) {
@@ -402,6 +443,7 @@ inline void RunNexmarkFig(BenchProcs& procs, const Flags& flags, int q,
       j.Key("outputs").Value(r.outputs);
       benchjson::HistSummary(j, "steady", r.steady);
       benchjson::Timeline_(j, r.timeline);
+      benchjson::Rss_(j, r.rss_samples);
       j.EndObject();
     }
   }
@@ -464,6 +506,7 @@ inline void RunOverheadFig(BenchProcs& procs, const Flags& flags, int fig,
         static_cast<uint64_t>(r.shards.size()));
     benchjson::HistSummary(j, "per_record", r.per_record);
     benchjson::Ccdf_(j, r.per_record);
+    benchjson::Rss_(j, r.rss_samples);
     j.EndObject();
     rows.push_back(Row{name, r.per_record});
   };
@@ -571,6 +614,7 @@ inline void RunSweepFig(BenchProcs& procs, const Flags& flags, int fig,
       j.Key("processes_reporting").Value(
           static_cast<uint64_t>(r.shards.size()));
       benchjson::Migrations(j, r.migrations);
+      benchjson::Rss_(j, r.rss_samples);
       j.EndObject();
     }
   }
@@ -645,6 +689,7 @@ inline void RunFig19(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
       j.Key("max_latency_s").Value(max_s);
       j.Key("processes_reporting").Value(
           static_cast<uint64_t>(r.shards.size()));
+      benchjson::Rss_(j, r.rss_samples);
       j.EndObject();
     }
   }
@@ -661,7 +706,6 @@ inline void RunFig20(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   base.rate = flags.GetDouble("rate", 100'000);
   base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
   base.mode = CountMode::kKeyCount;
-  base.sample_rss = true;
   base.batch_size = 64;
   base.state_bytes_per_sec = flags.GetInt("state_bw", 64ull << 20);
   base.chunk_bytes = ChunkBytesFromFlags(flags);
@@ -810,6 +854,7 @@ inline void RunFig22(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
     benchjson::HistSummary(j, "steady", r.steady);
     benchjson::Migrations(j, r.migrations);
     benchjson::Timeline_(j, r.timeline);
+    benchjson::Rss_(j, r.rss_samples);
     j.EndObject();
   }
   j.EndArray();
@@ -855,6 +900,11 @@ inline void RunFig24(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
   // bench passes real epoch numbers): 4 decision intervals.
   base.adaptive_opts.cooldown_epochs =
       flags.GetInt("cooldown-epochs", 4 * base.stats_every);
+  // 0 keeps load-only scoring; >0 makes the policy weigh a bin's
+  // resident bytes against its load before shipping it (PR 9's spill
+  // backend makes bins far larger than their traffic justifies moving).
+  base.adaptive_opts.move_cost_per_byte =
+      flags.GetDouble("move-cost-per-byte", 0.0);
 
   std::printf(
       "# Figure 24: hot-key flip drill, key-count, domain=%llu rate=%.0f "
@@ -938,9 +988,166 @@ inline void RunFig24(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
     benchjson::HistSummary(j, "steady", r.steady);
     benchjson::Migrations(j, r.migrations);
     benchjson::Timeline_(j, r.timeline);
+    benchjson::Rss_(j, r.rss_samples);
     j.EndObject();
   }
   j.EndArray();
+}
+
+// -------------------------------------------------- fig 25 (spill drill)
+
+/// Figure 25 (not in the paper — the spill drill): a count run whose
+/// per-key values carry a byte pad sized so the total state is several
+/// times the RSS cap, with one chunked migration mid-run. Two variants:
+/// the in-memory MapState baseline ("map-state") and the log-structured
+/// spill-to-disk backend ("log-state"), whose peak RSS must stay under
+/// the cap — segments stream during migration, so no bin is ever
+/// materialized in memory (tools/bench_check.py --rss-bound gates peak
+/// RSS and the cross-backend digest). The digest equivalence itself is
+/// established on the deterministic harness (open-loop digests are
+/// timing-dependent): a MapState and a LogState run of the same schedule
+/// must agree byte-for-byte.
+inline void RunFig25(BenchProcs& procs, const Flags& flags, JsonWriter& j) {
+  CountBenchConfig base;
+  base.workers = procs.total_workers();
+  base.num_bins = static_cast<uint32_t>(flags.GetInt("bins", 64));
+  base.domain = flags.GetInt("domain", 1 << 14);
+  base.rate = flags.GetDouble("rate", 50'000);
+  base.duration_ms = DurationMsFromFlags(flags, base.rate, 4000);
+  base.value_pad_bytes = flags.GetInt("pad", 1 << 14);
+  base.strategy = MigrationStrategy::kFluid;
+  base.batch_size = flags.GetInt("batch_size", 16);
+  base.chunk_bytes = ChunkBytesFromFlags(flags, 256 << 10);
+  base.chunk_bytes_per_step = ChunkStepBytesFromFlags(flags);
+  // The memtable bound is per bin: it must sit well under the per-bin
+  // state share (total_state / bins) or nothing ever spills and the
+  // "bounded RSS" claim is vacuous. 64 KB x 64 bins = 4 MB resident
+  // write-back budget per process at the default sizing.
+  base.spill_memtable_bytes = flags.GetInt("spill-memtable-bytes", 64 << 10);
+  base.spill_segment_bytes = flags.GetInt("spill-segment-bytes", 0);
+  const uint64_t migrate_at =
+      flags.GetInt("migrate_at_ms", base.duration_ms / 3);
+  // Total state ~= every key's pad + count, ignoring container overhead
+  // (which only makes the in-memory baseline worse).
+  const uint64_t total_state = base.domain * (base.value_pad_bytes + 8);
+  const uint64_t rss_cap = flags.GetInt("rss-cap-bytes", total_state / 4);
+
+  char tmpl[] = "/tmp/mega_spill_XXXXXX";
+  const char* spill_dir = ::mkdtemp(tmpl);
+  MEGA_CHECK(spill_dir != nullptr) << "mkdtemp failed";
+
+  std::printf(
+      "# Figure 25: spill-to-disk drill, pad-count, domain=%llu pad=%llu "
+      "(~%llu MB state, rss cap %llu MB) rate=%.0f chunk=%llu KB\n",
+      static_cast<unsigned long long>(base.domain),
+      static_cast<unsigned long long>(base.value_pad_bytes),
+      static_cast<unsigned long long>(total_state >> 20),
+      static_cast<unsigned long long>(rss_cap >> 20), base.rate,
+      static_cast<unsigned long long>(base.chunk_bytes >> 10));
+
+  j.Key("config").BeginObject();
+  j.Key("workload").Value("pad-count");
+  j.Key("domain").Value(base.domain);
+  j.Key("value_pad_bytes").Value(base.value_pad_bytes);
+  j.Key("total_state_bytes").Value(total_state);
+  j.Key("rss_cap_bytes").Value(rss_cap);
+  j.Key("rate").Value(base.rate);
+  j.Key("duration_ms").Value(base.duration_ms);
+  j.Key("bins").Value(static_cast<uint64_t>(base.num_bins));
+  j.Key("migrate_at_ms").Value(migrate_at);
+  j.Key("chunk_bytes").Value(base.chunk_bytes);
+  j.Key("spill_memtable_bytes").Value(base.spill_memtable_bytes);
+  j.EndObject();
+
+  struct Variant {
+    const char* label;
+    CountMode mode;
+  };
+  const Variant variants[] = {
+      {"map-state", CountMode::kPadCount},
+      {"log-state", CountMode::kSpillCount},
+  };
+
+  j.Key("variants").BeginArray();
+  for (const auto& v : variants) {
+    std::string want = flags.GetStr("strategy", "all");
+    if (want != "all" && want != v.label) continue;
+    CountBenchConfig cfg = base;
+    cfg.mode = v.mode;
+    if (v.mode == CountMode::kSpillCount) cfg.state_dir = spill_dir;
+    cfg.migrations.push_back(
+        {migrate_at, MakeImbalancedAssignment(cfg.num_bins, cfg.workers)});
+    auto r = procs.RunCount(cfg);
+    if (!r.root) continue;
+    uint64_t peak = 0;
+    for (const auto& [t, bytes] : r.rss_samples) {
+      peak = std::max(peak, bytes);
+    }
+    double m = 0;
+    for (const auto& ms : r.migrations) m = std::max(m, ms.max_ms);
+    PrintTimeline(v.label, r.timeline);
+    PrintMigrationSummary(v.label, cfg.num_bins, "bins", r.migrations);
+    std::printf("# %s: peak rss = %llu MB (cap %llu MB%s), max during "
+                "migration = %.3f ms\n\n",
+                v.label, static_cast<unsigned long long>(peak >> 20),
+                static_cast<unsigned long long>(rss_cap >> 20),
+                v.mode == CountMode::kSpillCount
+                    ? (peak <= rss_cap ? ", UNDER" : ", OVER")
+                    : "",
+                m);
+
+    j.BeginObject();
+    j.Key("label").Value(v.label);
+    j.Key("strategy").Value(StrategyName(cfg.strategy));
+    j.Key("processes_reporting").Value(
+        static_cast<uint64_t>(r.shards.size()));
+    j.Key("records_sent").Value(r.records_sent);
+    j.Key("achieved_rate_per_s")
+        .Value(r.duration_sec > 0
+                   ? static_cast<double>(r.records_sent) / r.duration_sec
+                   : 0.0);
+    j.Key("under_rss_cap").Value(peak <= rss_cap);
+    benchjson::HistSummary(j, "steady", r.steady);
+    benchjson::Migrations(j, r.migrations);
+    benchjson::Timeline_(j, r.timeline);
+    benchjson::Rss_(j, r.rss_samples);
+    j.EndObject();
+  }
+  j.EndArray();
+
+  // Backend equivalence: the deterministic harness run twice — MapState
+  // vs LogState with a memtable small enough to force real segment
+  // traffic — must produce byte-identical digests through a chunked
+  // migration.
+  bool digest_match = false;
+  if (procs.IsRoot()) {
+    DetCountConfig dc;
+    dc.total_workers = 4;
+    dc.num_bins = 32;
+    dc.domain = 1 << 10;
+    dc.records_per_epoch = 2048;
+    dc.epochs = 6;
+    dc.migrate_at_epoch = 2;
+    dc.strategy = MigrationStrategy::kFluid;
+    dc.chunk_bytes = 4096;
+    dc.chunk_bytes_per_step = 16384;
+    timely::Config single;
+    single.workers = dc.total_workers;
+    DetCountResult ref = RunDeterministicCount(dc, single);
+    DetCountConfig dl = dc;
+    dl.backend = DetCountConfig::Backend::kLog;
+    dl.state_dir = spill_dir;
+    dl.spill_memtable_bytes = 256;
+    DetCountResult lg = RunDeterministicCount(dl, single);
+    digest_match = ref.root && lg.root && !ref.digest.empty() &&
+                   ref.digest == lg.digest;
+    std::printf("# digest_match=%d (map vs log, deterministic harness)\n",
+                digest_match ? 1 : 0);
+  }
+  j.Key("digest_match").Value(digest_match);
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
 }
 
 // ------------------------------------------------- fig 23 (fault drill)
@@ -961,12 +1168,21 @@ inline void RunRecovery(const Flags& flags, JsonWriter& j) {
   base.migrate_at_epoch = 2;
   base.strategy = MigrationStrategy::kBatched;
   base.batch_size = base.num_bins;  // whole plan in one batch
+  // --state=log runs the whole drill on the spill-to-disk backend: bin
+  // checkpoints become segment manifests + memtable deltas, and recovery
+  // must relink the manifest segments byte-for-byte.
+  const bool log_backend = flags.GetStr("state", "map") == "log";
+  if (log_backend) {
+    base.backend = DetCountConfig::Backend::kLog;
+    base.spill_memtable_bytes = flags.GetInt("spill-memtable-bytes", 256);
+  }
   const uint64_t die_at = flags.GetInt("die_at_epoch", 5);
 
   std::printf("# Figure 23: kill-one-process recovery drill; epochs=%llu "
-              "die_at=%llu\n",
+              "die_at=%llu state=%s\n",
               static_cast<unsigned long long>(base.epochs),
-              static_cast<unsigned long long>(die_at));
+              static_cast<unsigned long long>(die_at),
+              log_backend ? "log" : "map");
 
   timely::Config single;
   single.workers = base.total_workers;
@@ -979,6 +1195,7 @@ inline void RunRecovery(const Flags& flags, JsonWriter& j) {
   DetCountConfig cfg = base;
   cfg.checkpoint_dir = dir;
   cfg.checkpoint_every = flags.GetInt("checkpoint_every", 2);
+  if (log_backend) cfg.state_dir = std::string(dir) + "/spill";
 
   // Crash run: process 1 SIGKILLs itself at the top of epoch `die_at`;
   // the surviving root must abort via PeerDownError, not hang.
@@ -1026,6 +1243,7 @@ inline void RunRecovery(const Flags& flags, JsonWriter& j) {
 
   j.Key("config").BeginObject();
   j.Key("workload").Value("det-count");
+  j.Key("state_backend").Value(log_backend ? "log" : "map");
   j.Key("epochs").Value(base.epochs);
   j.Key("records_per_epoch").Value(base.records_per_epoch);
   j.Key("die_at_epoch").Value(die_at);
@@ -1126,10 +1344,17 @@ inline void BenchDriverUsage() {
       "  --fig=N           figure to run (1, 5-20; 21 = Table 1;\n"
       "                    22 = chunked vs monolithic migration;\n"
       "                    23 = kill-one-process recovery drill;\n"
-      "                    24 = hot-key-flip adaptive-controller drill)\n"
+      "                    24 = hot-key-flip adaptive-controller drill;\n"
+      "                    25 = spill-to-disk RSS-bound drill)\n"
       "  --controller=C    fig 24 variant: adaptive (default), static\n"
       "                    (no controller), or all\n"
       "  --flip_at_ms=T    fig 24: when the hot-key flip hits\n"
+      "  --state=S         fig 23 backend: map (default) or log\n"
+      "  --pad=N           fig 25: per-key value pad bytes\n"
+      "  --rss-cap-bytes=N fig 25 cap (default: total state / 4)\n"
+      "  --spill-memtable-bytes=N  LogState memtable flush threshold\n"
+      "  --move-cost-per-byte=C    fig 24: adaptive migration cost per\n"
+      "                    resident state byte (default 0)\n"
       "  --query=N         NEXMark query 1-8 (same as --fig=N+4)\n"
       "  --steady          closed-loop steady-throughput suite\n"
       "  --strategy=S      only run variant S (default: all)\n"
@@ -1166,7 +1391,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
   }
   const bool known = fig == 1 || (fig >= 5 && fig <= 20) ||
                      fig == kFigTable1 || fig == kFigChunk ||
-                     fig == kFigRecovery || fig == kFigAdaptive;
+                     fig == kFigRecovery || fig == kFigAdaptive ||
+                     fig == kFigSpill;
   if (!known) {
     BenchDriverUsage();
     return 2;
@@ -1204,6 +1430,8 @@ inline int BenchDriverMain(int argc, char** argv, int forced_fig = -1) {
     RunRecovery(flags, j);
   } else if (fig == kFigAdaptive) {
     RunFig24(procs, flags, j);
+  } else if (fig == kFigSpill) {
+    RunFig25(procs, flags, j);
   } else {
     RunTable01(flags, j);
   }

@@ -54,6 +54,9 @@ struct MigrationStats {
 };
 
 /// One process's share of a bench run's measurements.
+/// One (elapsed seconds, resident-set bytes) sample of a process's RSS.
+using RssSample = std::pair<double, uint64_t>;
+
 struct BenchShard {
   uint32_t process_index = 0;
   Timeline timeline{250'000'000};
@@ -63,6 +66,9 @@ struct BenchShard {
   uint64_t outputs = 0;
   uint64_t records_sent = 0;
   double duration_sec = 0;
+  /// Periodic RSS samples of this process (every figure reports memory,
+  /// not just the paper's Fig. 20 — the spill backend's gate needs it).
+  std::vector<RssSample> rss;
 
   void Serialize(Writer& w) const {
     Encode(w, process_index);
@@ -73,6 +79,7 @@ struct BenchShard {
     Encode(w, outputs);
     Encode(w, records_sent);
     Encode(w, duration_sec);
+    Encode(w, rss);
   }
   static BenchShard Deserialize(Reader& r) {
     BenchShard s;
@@ -84,6 +91,7 @@ struct BenchShard {
     s.outputs = Decode<uint64_t>(r);
     s.records_sent = Decode<uint64_t>(r);
     s.duration_sec = Decode<double>(r);
+    s.rss = Decode<std::vector<RssSample>>(r);
     return s;
   }
 };
@@ -103,7 +111,8 @@ inline void MergeShardsInto(std::vector<BenchShard>& shards,
                             Histogram* steady,
                             std::vector<MigrationStats>* migrations,
                             uint64_t* records, uint64_t* outputs,
-                            double* duration) {
+                            double* duration,
+                            std::vector<RssSample>* rss = nullptr) {
   std::sort(shards.begin(), shards.end(),
             [](const BenchShard& a, const BenchShard& b) {
               return a.process_index < b.process_index;
@@ -116,6 +125,15 @@ inline void MergeShardsInto(std::vector<BenchShard>& shards,
     if (outputs) *outputs += s.outputs;
     if (duration) *duration = std::max(*duration, s.duration_sec);
     if (migrations && s.process_index == 0) *migrations = s.migrations;
+    if (rss) rss->insert(rss->end(), s.rss.begin(), s.rss.end());
+  }
+  if (rss) {
+    // All processes' samples pooled on one time axis (per-process RSS,
+    // interleaved). Stable so equal timestamps keep process order.
+    std::stable_sort(rss->begin(), rss->end(),
+                     [](const RssSample& a, const RssSample& b) {
+                       return a.first < b.first;
+                     });
   }
   if (migrations) {
     // Chunk traffic is observed per process; windows line up across

@@ -2,11 +2,14 @@
 // (paper §5.2, §5.3): a stream of uniformly random 64-bit identifiers whose
 // per-identifier occurrence counts are maintained as operator state.
 //
-// Three operator variants are provided:
+// Operator variants provided:
 //   * kHashCount — Megaphone operator, bins hold hash maps ("hash count");
 //   * kKeyCount  — Megaphone operator, bins hold dense arrays ("key count");
 //   * kNativeHash / kNativeKey — hand-tuned timely operators without
-//     migration support, the paper's "Native" baselines.
+//     migration support, the paper's "Native" baselines;
+//   * kPadCount / kSpillCount — counts carrying a configurable byte pad
+//     per key, held in the in-memory MapState vs. the spill-to-disk
+//     LogState: the fig. 25 memory-bound pair.
 //
 // The driver is open-loop: records are injected at their scheduled wall
 // deadline regardless of system responsiveness, per-epoch completion is
@@ -21,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -38,7 +42,14 @@
 
 namespace megaphone {
 
-enum class CountMode { kHashCount, kKeyCount, kNativeHash, kNativeKey };
+enum class CountMode {
+  kHashCount,
+  kKeyCount,
+  kNativeHash,
+  kNativeKey,
+  kPadCount,
+  kSpillCount,
+};
 
 inline const char* CountModeName(CountMode m) {
   switch (m) {
@@ -46,9 +57,22 @@ inline const char* CountModeName(CountMode m) {
     case CountMode::kKeyCount: return "key-count";
     case CountMode::kNativeHash: return "native-hash";
     case CountMode::kNativeKey: return "native-key";
+    case CountMode::kPadCount: return "map-state";
+    case CountMode::kSpillCount: return "log-state";
   }
   return "?";
 }
+
+/// Count plus a configurable byte payload: the value type of the
+/// kPadCount / kSpillCount modes, whose point is state *volume* (fig. 25
+/// sizes total state well past the RSS cap). The pad is written once, on
+/// the key's first touch, so a preload materializes the full footprint
+/// before measurement starts.
+struct PadCount {
+  uint64_t count = 0;
+  std::vector<uint8_t> pad;
+  MEGA_SERDE_FIELDS(PadCount, count, pad)
+};
 
 struct CountBenchConfig {
   /// Total workers across all processes of the run.
@@ -76,8 +100,15 @@ struct CountBenchConfig {
   uint64_t gap_ms = 0;
 
   uint64_t seed = 1;
-  bool sample_rss = false;
   uint64_t epoch_ns = 1'000'000;  // 1 ms epochs
+
+  /// Byte payload each key's value carries (kPadCount / kSpillCount).
+  uint64_t value_pad_bytes = 0;
+  /// Spill backend knobs (kSpillCount): segment directory and LogState
+  /// thresholds. Empty / 0 keep the process-global defaults.
+  std::string state_dir;
+  uint64_t spill_memtable_bytes = 0;
+  uint64_t spill_segment_bytes = 0;
 
   /// Closed-loop adaptive control (megaphone modes only): every
   /// `stats_every` epochs each worker ships its per-bin statistics to
@@ -98,7 +129,8 @@ struct CountBenchResult {
   Histogram per_record;  // per-record latency, steady state and migration
   Histogram steady;      // samples outside migration windows
   std::vector<MigrationStats> migrations;
-  std::vector<std::pair<double, uint64_t>> rss_samples;  // (t_sec, bytes)
+  /// (t_sec, bytes) RSS samples pooled over every process's shard.
+  std::vector<RssSample> rss_samples;
   uint64_t records_sent = 0;
   double duration_sec = 0;
   /// True iff this process hosts global worker 0; only then are the
@@ -192,6 +224,20 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
   const bool is_native = cfg.mode == CountMode::kNativeHash ||
                          cfg.mode == CountMode::kNativeKey;
 
+  // LogState backends are default-constructed inside bins and snapshot
+  // the process-global options at construction, so the spill knobs must
+  // be published before any worker thread builds a dataflow.
+  if (cfg.mode == CountMode::kSpillCount) {
+    state::LogStateOptions& o = state::GlobalLogStateOptions();
+    if (!cfg.state_dir.empty()) o.dir = cfg.state_dir;
+    if (cfg.spill_memtable_bytes != 0) {
+      o.memtable_bytes = cfg.spill_memtable_bytes;
+    }
+    if (cfg.spill_segment_bytes != 0) {
+      o.segment_bytes = cfg.spill_segment_bytes;
+    }
+  }
+
   timely::Execute(tcfg, [&](Worker& w) {
     struct Handles {
       timely::Input<ControlInst, T> ctrl;
@@ -246,6 +292,36 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
               mcfg);
           probe = out.probe;
           take_stats = out.take_bin_stats;
+          break;
+        }
+        case CountMode::kPadCount:
+        case CountMode::kSpillCount: {
+          // One fold, two backends: the bin layer treats a ChunkableState
+          // type as its own backend, so the map/log pair differs only in
+          // the declared state type.
+          auto build = [&]<typename BinState>() {
+            auto out = Unary<BinState, uint64_t>(
+                ctrl_stream, data_stream,
+                [](const uint64_t& k) { return HashMix64(k); },
+                [pad = cfg.value_pad_bytes](const T&, BinState& state,
+                                            std::vector<uint64_t>& recs,
+                                            auto, auto&) {
+                  for (uint64_t k : recs) {
+                    PadCount& v = state[k];
+                    if (pad != 0 && v.pad.empty()) v.pad.assign(pad, 0xa5);
+                    v.count++;
+                  }
+                },
+                mcfg);
+            probe = out.probe;
+            take_stats = out.take_bin_stats;
+          };
+          if (cfg.mode == CountMode::kPadCount) {
+            build.template operator()<state::MapState<uint64_t, PadCount>>();
+          } else {
+            build.template
+            operator()<state::LogState<uint64_t, PadCount>>();
+          }
           break;
         }
         case CountMode::kNativeHash: {
@@ -331,7 +407,9 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
     const uint64_t flip_ns =
         cfg.flip_at_ms ? start + cfg.flip_at_ms * 1'000'000 : UINT64_MAX;
     const bool hash_bins = cfg.mode == CountMode::kHashCount ||
-                           cfg.mode == CountMode::kNativeHash;
+                           cfg.mode == CountMode::kNativeHash ||
+                           cfg.mode == CountMode::kPadCount ||
+                           cfg.mode == CountMode::kSpillCount;
     double reaction_ms = -1;
     double rebalanced_sec = -1;
 
@@ -429,10 +507,8 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
             uint64_t deadline = start + next_ack * cfg.epoch_ns;
             if (now > deadline) timeline.Add(now - start, now - deadline, 1);
           }
-          if (cfg.sample_rss) {
-            rss.emplace_back(static_cast<double>(now - start) * 1e-9,
-                             CurrentRssBytes());
-          }
+          rss.emplace_back(static_cast<double>(now - start) * 1e-9,
+                           CurrentRssBytes());
           next_tick += 250'000'000;
         }
         bool migrating = controller.Migrating();
@@ -509,11 +585,11 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
       shard.migrations = std::move(mig_stats);
       shard.records_sent = total_sent.load();
       shard.duration_sec = static_cast<double>(now - start) * 1e-9;
+      shard.rss = std::move(rss);
       rep.Finish(shard);
       if (w.index() == 0) {
         std::lock_guard<std::mutex> lock(result_mu);
         root_shards = rep.shards;
-        result.rss_samples = std::move(rss);
         if (actrl) {
           result.reaction_ms = reaction_ms;
           result.flip_sec = flip_ns == UINT64_MAX
@@ -537,7 +613,7 @@ inline CountBenchResult RunCountBench(const CountBenchConfig& cfg,
   detail::MergeShardsInto(result.shards, &result.timeline,
                           &result.per_record, &result.steady,
                           &result.migrations, &result.records_sent, nullptr,
-                          &result.duration_sec);
+                          &result.duration_sec, &result.rss_samples);
   return result;
 }
 
@@ -580,6 +656,18 @@ struct DetCountConfig {
   uint64_t chunk_bytes = 0;
   uint64_t chunk_bytes_per_step = 0;
   uint64_t seed = 1;
+
+  /// Operator state backend: the in-memory MapState or the spill-to-disk
+  /// LogState. The final digest must be byte-identical across backends —
+  /// the property tests assert it — and checkpoints of a kLog run store
+  /// segment manifests instead of inline values.
+  enum class Backend { kMap, kLog };
+  Backend backend = Backend::kMap;
+  /// Spill knobs (kLog): segment directory and memtable bound. A small
+  /// memtable (e.g. 256 bytes) forces real segment traffic even at this
+  /// harness's toy state sizes. Empty / 0 keep the global defaults.
+  std::string state_dir;
+  uint64_t spill_memtable_bytes = 0;
 
   /// Checkpoint/restore (fault drills). When `checkpoint_dir` is set the
   /// run writes one frontier-aligned checkpoint segment per process every
@@ -669,6 +757,21 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
   }
   result.start_epoch = start_epoch;
 
+  // Spill backend plumbing. LogState bins are default-constructed and
+  // snapshot the process-global options, so publish the knobs before any
+  // worker spawns; the checkpoint scope keys LogState::Serialize into
+  // manifest mode for the whole run (set here on the harness thread —
+  // workers only ever read it).
+  std::optional<state::CheckpointDirScope> ck_scope;
+  if (cfg.backend == DetCountConfig::Backend::kLog) {
+    state::LogStateOptions& o = state::GlobalLogStateOptions();
+    if (!cfg.state_dir.empty()) o.dir = cfg.state_dir;
+    if (cfg.spill_memtable_bytes != 0) {
+      o.memtable_bytes = cfg.spill_memtable_bytes;
+    }
+    if (ck_enabled) ck_scope.emplace(cfg.checkpoint_dir);
+  }
+
   // Capture rendezvous for this process's workers: each stages its bins,
   // the local root writes the segment, and nobody proceeds into the next
   // epoch until the file is published (temp + rename).
@@ -703,25 +806,33 @@ inline DetCountResult RunDeterministicCount(const DetCountConfig& cfg,
       mcfg.chunk_bytes_per_step = cfg.chunk_bytes_per_step;
       mcfg.name = "DetCount";
       if (start_epoch > 0) mcfg.initial_owner = seg.assignment;
-      using BinState = state::MapState<uint64_t, uint64_t>;
       // Every record emits its key's running count; the collector below
-      // keeps the maximum per key, which equals the final count.
-      auto out = Unary<BinState, KV>(
-          ctrl_stream, data_stream,
-          [](const uint64_t& k) { return HashMix64(k); },
-          [](const T&, BinState& state, std::vector<uint64_t>& recs,
-             auto emit, auto&) {
-            for (uint64_t k : recs) emit(KV{k, ++state[k]});
-          },
-          mcfg);
-
-      // Restore this worker's share of the checkpoint: bins staged into
-      // the operator (installed at S's first schedule), collector decoded
-      // into worker 0's map.
-      if (start_epoch > 0) {
-        auto it = seg.workers.find(s.worker());
-        if (it != seg.workers.end()) out.restore_bins(it->second);
-      }
+      // keeps the maximum per key, which equals the final count. One
+      // fold, two interchangeable backends — StatefulOutput depends only
+      // on the record type, so both instantiations share a type.
+      auto build = [&]<typename BinState>() {
+        auto out = Unary<BinState, KV>(
+            ctrl_stream, data_stream,
+            [](const uint64_t& k) { return HashMix64(k); },
+            [](const T&, BinState& state, std::vector<uint64_t>& recs,
+               auto emit, auto&) {
+              for (uint64_t k : recs) emit(KV{k, ++state[k]});
+            },
+            mcfg);
+        // Restore this worker's share of the checkpoint: bins staged
+        // into the operator (installed at S's first schedule).
+        if (start_epoch > 0) {
+          auto it = seg.workers.find(s.worker());
+          if (it != seg.workers.end()) out.restore_bins(it->second);
+        }
+        return out;
+      };
+      auto out =
+          cfg.backend == DetCountConfig::Backend::kLog
+              ? build.template
+                operator()<state::LogState<uint64_t, uint64_t>>()
+              : build.template
+                operator()<state::MapState<uint64_t, uint64_t>>();
 
       // Collector on global worker 0: the single point of truth any
       // process split must agree with. The dummy output (never written)

@@ -24,6 +24,7 @@
 #include "harness/bench_shard.hpp"
 #include "harness/histogram.hpp"
 #include "harness/report.hpp"
+#include "harness/rss.hpp"
 #include "megaphone/megaphone.hpp"
 #include "nexmark/nexmark.hpp"
 #include "timely/timely.hpp"
@@ -53,6 +54,8 @@ struct NexmarkBenchResult {
   Timeline timeline{250'000'000};
   Histogram steady;
   std::vector<MigrationStats> migrations;
+  /// (t_sec, bytes) RSS samples pooled over every process's shard.
+  std::vector<RssSample> rss_samples;
   uint64_t outputs = 0;
   uint64_t events_sent = 0;
   /// True iff this process hosts global worker 0 (merged metrics live
@@ -184,6 +187,7 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
     Timeline timeline(250'000'000);
     Histogram steady;
     std::vector<MigrationStats> mig_stats;
+    std::vector<RssSample> rss;
     bool was_migrating = false;
     size_t batches_before = 0;
     uint64_t chunk_frames_before = 0;
@@ -267,6 +271,8 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
             uint64_t deadline = start + next_ack * 1'000'000;
             if (now > deadline) timeline.Add(now - start, now - deadline, 1);
           }
+          rss.emplace_back(static_cast<double>(now - start) * 1e-9,
+                           CurrentRssBytes());
           next_tick += 250'000'000;
         }
         bool migrating = controller.Migrating();
@@ -333,6 +339,7 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
       shard.outputs = outputs.load();
       shard.records_sent = total_sent.load();
       shard.duration_sec = static_cast<double>(now - start) * 1e-9;
+      shard.rss = std::move(rss);
       rep.Finish(shard);
       if (w.index() == 0) {
         std::lock_guard<std::mutex> lock(result_mu);
@@ -350,7 +357,8 @@ inline NexmarkBenchResult RunNexmarkBench(NexmarkBenchConfig cfg,
   result.shards = std::move(*root_shards);
   detail::MergeShardsInto(result.shards, &result.timeline, nullptr,
                           &result.steady, &result.migrations,
-                          &result.events_sent, &result.outputs, nullptr);
+                          &result.events_sent, &result.outputs, nullptr,
+                          &result.rss_samples);
   return result;
 }
 

@@ -130,6 +130,13 @@ struct AdaptiveOptions {
   /// Decision epochs to wait after an accepted plan before the next one,
   /// letting the migration finish and the EWMA re-converge.
   uint64_t cooldown_epochs = 4;
+  /// Cost charged against a bin's load for every reported state byte when
+  /// picking which bin to move ("To Migrate or not to Migrate": migration
+  /// cost scales with state volume). A bin is only a candidate while
+  /// load - move_cost_per_byte * state_bytes > 0, so huge cold bins stop
+  /// being proposed even when they would balance the load. 0 (default)
+  /// keeps the pure load-greedy behavior.
+  double move_cost_per_byte = 0.0;
 };
 
 /// The skew-detection / rebalance policy. Deterministic: ties in worker
@@ -195,12 +202,20 @@ class AdaptivePolicy {
       double spread = wl[src] - wl[dst];
       int64_t best = -1;
       double best_load = 0;
+      double best_score = 0;
       for (size_t b = 0; b < plan.size(); ++b) {
         if (plan[b] != src) continue;
         double l = load_[b];
-        if (l > best_load && l < spread) {
+        if (l >= spread) continue;
+        // Net benefit of moving the bin: its load minus the byte-weighted
+        // migration cost. With move_cost_per_byte == 0 the score is the
+        // load itself, reproducing the original selection exactly.
+        double score =
+            l - opts_.move_cost_per_byte * static_cast<double>(bytes_[b]);
+        if (score > best_score && score > 0) {
           best = static_cast<int64_t>(b);
           best_load = l;
+          best_score = score;
         }
       }
       if (best < 0) break;

@@ -140,5 +140,37 @@ inline bool LoadLatestSegment(const std::string& dir, uint32_t processes,
   return true;
 }
 
+/// Marks "a checkpoint capture is in progress, publishing into `dir`".
+///
+/// Backends with out-of-core representations (LogState) key their
+/// whole-value Serialize on this: inside a scope they publish sealed
+/// segment files into a subdirectory of `dir` (hard link or copy) and
+/// serialize a manifest + memtable delta instead of materializing every
+/// key — the point of a log-structured checkpoint. Outside any scope they
+/// serialize inline, which is what migration's monolithic path needs.
+///
+/// The scope is process-global (bin backends are default-constructed
+/// inside the dataflow, so there is no per-instance plumbing) and is only
+/// read/written from the harness thread bracketing a capture plus the
+/// worker threads inside it, which the capture barrier already orders.
+/// LatestCompleteEpoch ignores the published subdirectories: their names
+/// never match the ckpt_e*_p*.bin segment pattern.
+class CheckpointDirScope {
+ public:
+  explicit CheckpointDirScope(std::string dir) { Current() = std::move(dir); }
+  ~CheckpointDirScope() { Current().clear(); }
+  CheckpointDirScope(const CheckpointDirScope&) = delete;
+  CheckpointDirScope& operator=(const CheckpointDirScope&) = delete;
+
+  static bool active() { return !Current().empty(); }
+  static const std::string& dir() { return Current(); }
+
+ private:
+  static std::string& Current() {
+    static std::string d;
+    return d;
+  }
+};
+
 }  // namespace state
 }  // namespace megaphone

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "state/dense_state.hpp"   // IWYU pragma: export
+#include "state/log_state.hpp"     // IWYU pragma: export
 #include "state/map_state.hpp"     // IWYU pragma: export
 #include "state/migratable.hpp"    // IWYU pragma: export
 #include "state/sorted_state.hpp"  // IWYU pragma: export
@@ -63,6 +64,7 @@ static_assert(ChunkableState<MapState<uint64_t, uint64_t>>);
 static_assert(ChunkableState<SortedState<uint64_t, uint64_t>>);
 static_assert(ChunkableState<DenseState<uint64_t>>);
 static_assert(ChunkableState<BlobState<uint64_t>>);
+static_assert(ChunkableState<LogState<uint64_t, uint64_t>>);
 
 }  // namespace state
 }  // namespace megaphone

@@ -203,6 +203,49 @@ TEST(Adaptive, BalancedLoadNeverPlans) {
   EXPECT_FALSE(idle.Decide(1, cur).has_value());
 }
 
+// The move-cost knob: pricing a bin's migration at move_cost_per_byte
+// per byte of resident state vetoes shipping huge bins whose load gain
+// cannot pay for the transfer, without muting the policy entirely.
+TEST(Adaptive, MoveCostVetoesExpensiveBins) {
+  // Bins {0,1} carry the load and both sit on worker 0; either one
+  // moving rebalances, so the knob decides which. (Bin 0 must not be so
+  // dominant that moving it only swaps the hot worker — hysteresis would
+  // then veto every plan regardless of cost.)
+  auto feed = [](AdaptivePolicy& p, std::vector<uint64_t> state_bytes) {
+    BinStatsReport rep;
+    rep.records = {50, 40, 1, 1};
+    rep.state_bytes = std::move(state_bytes);
+    rep.resident = {1, 1, 1, 1};
+    p.Ingest(rep);
+  };
+  Assignment cur{0, 0, 1, 1};
+  const uint64_t kHuge = 1ull << 30;  // cost 1e-6/byte prices this at ~1073
+
+  // Cost off (the default): the heavy bin moves, as always.
+  AdaptivePolicy free_policy(4, 2, {});
+  feed(free_policy, {kHuge, 64, 64, 64});
+  auto plan = free_policy.Decide(1, cur);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_NE((*plan)[0], cur[0]) << "the hot bin should have moved";
+
+  // With a cost, the gigabyte bin stays put — its ~25 units of smoothed
+  // load cannot pay ~1073 units of transfer — but rebalancing continues
+  // with the cheap bin 1 on the overloaded worker.
+  AdaptiveOptions priced;
+  priced.move_cost_per_byte = 1e-6;
+  AdaptivePolicy costly(4, 2, priced);
+  feed(costly, {kHuge, 64, 64, 64});
+  auto capped = costly.Decide(1, cur);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ((*capped)[0], cur[0]) << "the priced-out bin moved anyway";
+  EXPECT_NE(*capped, cur) << "no cheap bin moved at all";
+
+  // When every bin is that expensive, no move is worth it: silence.
+  AdaptivePolicy muted(4, 2, priced);
+  feed(muted, {kHuge, kHuge, kHuge, kHuge});
+  EXPECT_FALSE(muted.Decide(1, cur).has_value());
+}
+
 TEST(Adaptive, BinStatsReportRoundTrips) {
   BinStatsReport rep;
   rep.worker = 3;

@@ -172,13 +172,17 @@ INSTANTIATE_TEST_SUITE_P(Modes, CountBenchModes,
                          ::testing::Values(CountMode::kHashCount,
                                            CountMode::kKeyCount,
                                            CountMode::kNativeHash,
-                                           CountMode::kNativeKey),
+                                           CountMode::kNativeKey,
+                                           CountMode::kPadCount,
+                                           CountMode::kSpillCount),
                          [](const auto& info) {
                            switch (info.param) {
                              case CountMode::kHashCount: return "HashCount";
                              case CountMode::kKeyCount: return "KeyCount";
                              case CountMode::kNativeHash: return "NativeHash";
                              case CountMode::kNativeKey: return "NativeKey";
+                             case CountMode::kPadCount: return "MapState";
+                             case CountMode::kSpillCount: return "LogState";
                            }
                            return "Unknown";
                          });

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -20,6 +22,7 @@
 #include "megaphone/control.hpp"
 #include "net/frame.hpp"
 #include "state/checkpoint.hpp"
+#include "state/log_state.hpp"
 #include "timely/channel.hpp"
 #include "timely/progress.hpp"
 
@@ -208,6 +211,17 @@ void ExpectEqual(const state::CheckpointSegment& a,
   EXPECT_EQ(a.collector, b.collector);
 }
 
+void ExpectEqual(const state::LogManifest& a, const state::LogManifest& b) {
+  EXPECT_EQ(a.dir, b.dir);
+  EXPECT_EQ(a.delta, b.delta);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].segment, b.segments[i].segment);
+    EXPECT_EQ(a.segments[i].file, b.segments[i].file);
+    EXPECT_EQ(a.segments[i].bytes, b.segments[i].bytes);
+  }
+}
+
 // The shared property: round-trips exactly, and every strict prefix of
 // the encoding throws SerdeError (a truncated frame can never decode).
 template <typename T>
@@ -363,6 +377,169 @@ TEST(SerdeFuzz, ChunkedBinaryBinRebuildAndCorruption) {
         Reader r(payloads[c]);
         back.AbsorbChunk(r, c + 1 == payloads.size());
       }
+    } catch (const SerdeError&) {
+      // clean failure; fine
+    }
+  }
+}
+
+// --- segment log on-disk format (state/segment_log.hpp) -------------------
+// Segment files survive process crashes and feed checkpoint restore, so
+// their records get the same hostile-input treatment as network frames:
+// truncation anywhere and flipped bytes must raise SerdeError, never UB.
+
+std::vector<uint8_t> RandomBytes(Xoshiro256& rng, size_t max_len) {
+  std::vector<uint8_t> v(rng.NextBelow(max_len + 1));
+  for (auto& b : v) b = static_cast<uint8_t>(rng.NextBelow(256));
+  return v;
+}
+
+TEST(SerdeFuzz, SegmentRecordRoundTripTruncationAndCorruption) {
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 200; ++i) {
+    bool tomb = rng.NextBelow(4) == 0;
+    auto key = RandomBytes(rng, 32);
+    auto value = tomb ? std::vector<uint8_t>{} : RandomBytes(rng, 64);
+    std::vector<uint8_t> buf;
+    state::AppendSegmentRecord(
+        buf,
+        tomb ? state::kSegmentRecordTombstone : state::kSegmentRecordPut,
+        key, value);
+
+    Reader r(buf);
+    state::SegmentRecord rec = state::DecodeSegmentRecord(r);
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(rec.type, tomb ? state::kSegmentRecordTombstone
+                             : state::kSegmentRecordPut);
+    EXPECT_EQ(rec.key, key);
+    EXPECT_EQ(rec.value, value);
+
+    // Every strict prefix is a torn write: SerdeError.
+    size_t step = i < 50 ? 1 : std::max<size_t>(1, buf.size() / 7);
+    for (size_t cut = 0; cut < buf.size(); cut += step) {
+      Reader rr(buf.data(), cut);
+      EXPECT_THROW(state::DecodeSegmentRecord(rr), SerdeError)
+          << "prefix of " << cut << "/" << buf.size() << " bytes decoded";
+    }
+
+    // A guaranteed-changed byte anywhere fails magic, type, length
+    // sanity, or the CRC — one of them always trips.
+    auto corrupt = buf;
+    size_t pos = rng.NextBelow(corrupt.size());
+    corrupt[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    Reader rc(corrupt);
+    EXPECT_THROW(
+        {
+          state::DecodeSegmentRecord(rc);
+          // Length corruption can leave trailing bytes; a clean decode of
+          // mutated input with nothing left over would be a missed CRC.
+          if (!rc.AtEnd()) throw SerdeError("trailing bytes");
+        },
+        SerdeError)
+        << "flipped byte at " << pos << " decoded cleanly";
+  }
+}
+
+TEST(SerdeFuzz, SegmentFileScanRejectsTruncationAnywhere) {
+  Xoshiro256 rng(41);
+  std::vector<uint8_t> file(state::kSegmentFileHeaderBytes);
+  std::memcpy(file.data(), &state::kSegmentFileMagic, 8);
+  std::set<size_t> record_boundaries;  // cuts here are valid shorter files
+  record_boundaries.insert(file.size());
+  for (int i = 0; i < 5; ++i) {
+    state::AppendSegmentRecord(file, state::kSegmentRecordPut,
+                               RandomBytes(rng, 16), RandomBytes(rng, 24));
+    record_boundaries.insert(file.size());
+  }
+
+  size_t records = 0;
+  state::ForEachSegmentRecord(file, [&](const state::SegmentRecord&,
+                                        uint64_t) { ++records; });
+  EXPECT_EQ(records, 5u);
+
+  for (size_t cut = 0; cut < file.size(); ++cut) {
+    if (record_boundaries.count(cut)) continue;  // not torn, just shorter
+    std::vector<uint8_t> prefix(file.begin(),
+                                file.begin() + static_cast<long>(cut));
+    EXPECT_THROW(state::ForEachSegmentRecord(
+                     prefix, [](const state::SegmentRecord&, uint64_t) {}),
+                 SerdeError)
+        << "prefix of " << cut << "/" << file.size() << " bytes scanned";
+  }
+
+  auto bad_magic = file;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(state::ForEachSegmentRecord(
+                   bad_magic, [](const state::SegmentRecord&, uint64_t) {}),
+               SerdeError);
+}
+
+state::LogManifest RandomManifest(Xoshiro256& rng) {
+  state::LogManifest m;
+  m.dir = "/tmp/ck_" + RandomString(rng, 12);
+  m.segments.resize(rng.NextBelow(6));
+  for (auto& e : m.segments) {
+    e.segment = rng.Next();
+    e.file = "seg_" + RandomString(rng, 8);
+    e.bytes = rng.Next();
+  }
+  m.delta = RandomBytes(rng, 48);
+  return m;
+}
+
+TEST(SerdeFuzz, LogManifestRoundTripAndTruncation) {
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 100; ++i) {
+    CheckRoundTripAndTruncation(RandomManifest(rng), i < 25);
+  }
+}
+
+// Chunked migration of a spilled LogState bin: every chunk bound rebuilds
+// an identical bin, and a corrupted chunk payload fails with SerdeError
+// rather than UB (the absorb path appends decoded records to disk).
+TEST(SerdeFuzz, LogStateChunkRebuildAndCorruption) {
+  Xoshiro256 rng(47);
+  state::LogStateOptions opts;
+  opts.memtable_bytes = 256;  // force segment traffic at test scale
+  for (int i = 0; i < 8; ++i) {
+    state::LogState<uint64_t, uint64_t> src(opts);
+    std::map<uint64_t, uint64_t> ref;
+    for (size_t n = 20 + rng.NextBelow(120); n > 0; --n) {
+      uint64_t k = rng.NextBelow(256);
+      src[k] = rng.Next();
+      ref[k] = src.Get(k).value();
+    }
+    for (size_t chunk_bytes :
+         {size_t{0}, size_t{1}, size_t{64}, size_t{1} << 12}) {
+      std::vector<std::vector<uint8_t>> payloads;
+      src.EnumerateChunks(chunk_bytes, [&](std::vector<uint8_t>&& c) {
+        payloads.push_back(std::move(c));
+      });
+      state::LogState<uint64_t, uint64_t> back(opts);
+      for (auto& p : payloads) {
+        Reader r(p);
+        back.AbsorbChunk(r);
+      }
+      back.FinishAbsorb();
+      EXPECT_EQ(back.Snapshot(), ref) << "chunk_bytes=" << chunk_bytes;
+    }
+
+    std::vector<std::vector<uint8_t>> payloads;
+    src.EnumerateChunks(48, [&](std::vector<uint8_t>&& c) {
+      payloads.push_back(std::move(c));
+    });
+    if (payloads.empty()) continue;
+    auto& bytes = payloads[rng.NextBelow(payloads.size())];
+    if (bytes.empty()) continue;
+    bytes[rng.NextBelow(bytes.size())] ^=
+        static_cast<uint8_t>(1 + rng.NextBelow(255));
+    try {
+      state::LogState<uint64_t, uint64_t> back(opts);
+      for (auto& p : payloads) {
+        Reader r(p);
+        back.AbsorbChunk(r);
+      }
+      back.FinishAbsorb();
     } catch (const SerdeError&) {
       // clean failure; fine
     }

@@ -4,8 +4,11 @@
 // (up to one entry of slack), and the backend-selection trait must pick
 // the right backend for user-declared state types.
 #include <gtest/gtest.h>
+#include <stdlib.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <type_traits>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "state/checkpoint.hpp"
 #include "state/state.hpp"
 
 namespace megaphone {
@@ -182,6 +186,238 @@ TEST(BackendSelection, MapsDeclaredTypesToBackends) {
       BackendSel<std::unordered_map<uint64_t, uint64_t>>::user(m);
   raw[3] = 4;
   EXPECT_EQ(m.raw().at(3), 4u);
+}
+
+// ------------------------------------------------------------- LogState
+
+/// Options that force disk traffic at test scale: a few hundred bytes of
+/// memtable, 4 KiB segments, and automatic compaction disabled
+/// (compact_min_bytes out of reach) so tests trigger CompactNow
+/// deliberately.
+LogStateOptions SmallLogOpts(uint64_t memtable_bytes = 512) {
+  LogStateOptions o;
+  o.memtable_bytes = memtable_bytes;
+  o.segment_bytes = 4ull << 10;
+  o.compact_min_bytes = 1ull << 40;
+  return o;
+}
+
+TEST(LogState, SpillsAndServesReadsFromDisk) {
+  LogState<uint64_t, std::string> s(SmallLogOpts());
+  std::map<uint64_t, std::string> ref;
+  Xoshiro256 rng(51);
+  for (int i = 0; i < 400; ++i) {
+    uint64_t k = rng.NextBelow(300);  // overwrites generate garbage
+    std::string v(1 + rng.NextBelow(24), static_cast<char>('a' + (k % 26)));
+    s[k] = v;
+    ref[k] = v;
+  }
+  EXPECT_GT(s.segment_count(), 0u) << "400 writes never spilled";
+  EXPECT_LT(s.memtable_entries(), ref.size())
+      << "everything still resident; the memtable bound did nothing";
+  EXPECT_EQ(s.size(), ref.size());
+  EXPECT_EQ(s.Snapshot(), ref);
+  for (auto& [k, v] : ref) {
+    EXPECT_TRUE(s.contains(k));
+    auto got = s.Get(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_FALSE(s.Get(1'000'000).has_value());
+  EXPECT_FALSE(s.contains(1'000'000));
+}
+
+TEST(LogState, EraseTombstonesAndRevival) {
+  LogState<uint64_t, uint64_t> s(SmallLogOpts());
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t k = 0; k < 200; ++k) {
+    s[k] = k * 3;
+    ref[k] = k * 3;
+  }
+  s.FlushNow();  // push everything to disk so erase must tombstone
+  for (uint64_t k = 0; k < 200; k += 2) {
+    EXPECT_EQ(s.erase(k), 1u);
+    ref.erase(k);
+  }
+  EXPECT_EQ(s.erase(7777), 0u);  // never present
+  EXPECT_EQ(s.size(), ref.size());
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_FALSE(s.Get(42).has_value());
+  s[42] = 999;  // revive an erased, spilled key
+  ref[42] = 999;
+  EXPECT_EQ(s.Get(42).value(), 999u);
+  EXPECT_EQ(s.Snapshot(), ref);
+}
+
+TEST(LogState, CompactionShrinksDiskAndPreservesContents) {
+  LogState<uint64_t, uint64_t> s(SmallLogOpts(256));
+  for (uint64_t k = 0; k < 300; ++k) s[k] = k;
+  for (uint64_t k = 0; k < 300; ++k) s[k] = k + 1;  // 50% garbage
+  s.FlushNow();
+  ASSERT_GT(s.garbage_bytes(), 0u);
+  auto before_snapshot = s.Snapshot();
+  uint64_t before_disk = s.disk_bytes();
+  s.CompactNow();
+  EXPECT_LT(s.disk_bytes(), before_disk)
+      << "rewriting live records did not drop the dead ones";
+  EXPECT_EQ(s.garbage_bytes(), 0u);
+  EXPECT_EQ(s.Snapshot(), before_snapshot);
+  EXPECT_GT(s.segment_count(), 0u);
+}
+
+TEST(LogState, ChunkRoundTripAtEveryBound) {
+  using S = LogState<uint64_t, std::string>;
+  S src(SmallLogOpts());
+  Xoshiro256 rng(53);
+  for (int i = 0; i < 250; ++i) {
+    src[rng.NextBelow(400)] = std::string(rng.NextBelow(20), 'x');
+  }
+  for (uint64_t k = 0; k < 400; k += 5) src.erase(k);  // tombstones too
+  for (int i = 0; i < 8; ++i) src[1000 + i] = "delta";  // fresh memtable tail
+  auto ref = src.Snapshot();
+  ASSERT_GT(src.segment_count(), 0u);
+  for (size_t bound : {size_t{0}, size_t{1}, size_t{128}, size_t{1} << 16}) {
+    EXPECT_EQ(ChunkRoundTrip(src, bound).Snapshot(), ref)
+        << "bound=" << bound;
+  }
+  size_t chunks = 0;
+  ChunkRoundTrip(src, 256, &chunks);
+  EXPECT_GT(chunks, 4u) << "spilled state must split at a 256-byte bound";
+
+  // Chunks stream the live range in globally ascending key order, the
+  // same sorted-run contract SortedState honors.
+  std::vector<std::vector<uint8_t>> cs;
+  src.EnumerateChunks(128, [&](std::vector<uint8_t>&& c) {
+    cs.push_back(std::move(c));
+  });
+  uint64_t prev = 0;
+  bool first = true;
+  for (auto& c : cs) {
+    Reader r(c);
+    while (!r.AtEnd()) {
+      uint64_t k = Decode<uint64_t>(r);
+      (void)Decode<std::string>(r);
+      if (!first) {
+        EXPECT_GT(k, prev) << "keys not globally sorted";
+      }
+      prev = k;
+      first = false;
+    }
+  }
+}
+
+TEST(LogState, WholeValueSerdeRoundTripsInline) {
+  // Without a CheckpointDirScope the encoding is self-contained (tag 0):
+  // it must decode in a process that shares no filesystem state.
+  LogState<uint64_t, std::string> s(SmallLogOpts());
+  for (uint64_t k = 0; k < 150; ++k) s[k] = std::string(k % 17, 'y');
+  s.erase(3);
+  s.erase(99);
+  auto back = DecodeFromBytes<LogState<uint64_t, std::string>>(
+      EncodeToBytes(s));
+  EXPECT_EQ(back.Snapshot(), s.Snapshot());
+  EXPECT_EQ(back.size(), s.size());
+}
+
+TEST(LogState, MoveTransfersSegmentOwnership) {
+  auto make = [] {
+    LogState<uint64_t, uint64_t> src(SmallLogOpts());
+    for (uint64_t k = 0; k < 200; ++k) src[k] = k * 7;
+    src.FlushNow();
+    EXPECT_GT(src.segment_count(), 0u);
+    return src;  // moves out; the source dtor must not delete the files
+  };
+  LogState<uint64_t, uint64_t> dst = make();
+  EXPECT_GT(dst.segment_count(), 0u);
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto got = dst.Get(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k << " lost across the move";
+    EXPECT_EQ(*got, k * 7);
+  }
+}
+
+TEST(LogState, ManifestCheckpointRestoresAndRejectsTornSegment) {
+  char tmpl[] = "/tmp/mega_lsck_test_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  std::string ckdir = tmpl;
+
+  LogState<uint64_t, std::string> s(SmallLogOpts());
+  std::map<uint64_t, std::string> ref;
+  for (uint64_t k = 0; k < 180; ++k) {
+    std::string v(1 + (k % 13), 'z');
+    s[k] = v;
+    ref[k] = v;
+  }
+  s.FlushNow();
+  for (uint64_t k = 500; k < 510; ++k) {  // memtable delta rides the manifest
+    s[k] = "delta";
+    ref[k] = "delta";
+  }
+  ASSERT_GT(s.segment_count(), 0u);
+
+  std::vector<uint8_t> bytes;
+  {
+    CheckpointDirScope scope(ckdir);
+    bytes = EncodeToBytes(s);
+  }
+
+  // Restore outside the scope: the manifest carries its own directory.
+  auto back = DecodeFromBytes<LogState<uint64_t, std::string>>(bytes);
+  EXPECT_EQ(back.Snapshot(), ref);
+
+  // Find the largest published segment file under the checkpoint dir.
+  std::filesystem::path victim;
+  uintmax_t victim_size = 0;
+  for (auto& e : std::filesystem::recursive_directory_iterator(ckdir)) {
+    if (e.is_regular_file() && e.file_size() > victim_size) {
+      victim = e.path();
+      victim_size = e.file_size();
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "checkpoint published no segment files";
+  std::vector<uint8_t> original = ReadSegmentBytes(victim.string());
+
+  auto rewrite = [&](const std::vector<uint8_t>& content) {
+    std::filesystem::remove(victim);
+    std::ofstream out(victim, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(content.data()),
+              static_cast<std::streamsize>(content.size()));
+  };
+
+  // A flipped byte inside a record fails the CRC at restore.
+  {
+    auto corrupt = original;
+    corrupt[corrupt.size() / 2] ^= 0x40;
+    rewrite(corrupt);
+    EXPECT_THROW(
+        (DecodeFromBytes<LogState<uint64_t, std::string>>(bytes)),
+        SerdeError);
+    rewrite(original);
+  }
+
+  // A crash mid-compaction leaves stray .tmp files; restore only reads
+  // what the manifest lists, so the leftover is ignored.
+  {
+    std::ofstream stray(victim.string() + ".junk.tmp", std::ios::binary);
+    stray << "half-written compaction output";
+    stray.close();
+    auto ok = DecodeFromBytes<LogState<uint64_t, std::string>>(bytes);
+    EXPECT_EQ(ok.Snapshot(), ref);
+  }
+
+  // A truncated (torn) segment fails the manifest size check outright —
+  // no silent replay of a prefix.
+  {
+    auto torn = original;
+    torn.resize(torn.size() - 5);
+    rewrite(torn);
+    EXPECT_THROW(
+        (DecodeFromBytes<LogState<uint64_t, std::string>>(bytes)),
+        SerdeError);
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(ckdir, ec);
 }
 
 TEST(SerdeFieldsMacro, EncodesInDeclarationOrder) {

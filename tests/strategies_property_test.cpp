@@ -14,8 +14,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <set>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -222,6 +225,43 @@ TEST(StrategiesProperty, ChunkedDigestsMatchMonolithicUnderRandomSchedules) {
       EXPECT_EQ(r.completed_batches, ref.completed_batches);
     }
   }
+}
+
+// The spill backend joins the same matrix: under random schedules the
+// log-structured LogState bins — with a memtable small enough that most
+// state lives in segment files and migration streams from disk — must
+// produce digests byte-identical to the in-memory reference at every
+// chunk bound, monolithic included.
+TEST(StrategiesProperty, LogStateDigestsMatchMapStateUnderRandomSchedules) {
+  Xoshiro256 rng(35);
+  timely::Config single;
+  single.workers = 4;
+  char tmpl[] = "/tmp/mega_lsprop_XXXXXX";
+  ASSERT_NE(mkdtemp(tmpl), nullptr);
+  for (int round = 0; round < 2; ++round) {
+    DetCountConfig cfg = RandomScheduleConfig(rng);
+    cfg.chunk_bytes = 0;  // in-memory monolithic reference
+    DetCountResult ref = RunDeterministicCount(cfg, single);
+    ASSERT_TRUE(ref.root);
+    ASSERT_FALSE(ref.digest.empty());
+
+    for (uint64_t chunk_bytes : {0ull, 48ull, 256ull, 4096ull}) {
+      DetCountConfig lg = cfg;
+      lg.backend = DetCountConfig::Backend::kLog;
+      lg.state_dir = tmpl;
+      lg.spill_memtable_bytes = 256;  // force segment traffic
+      lg.chunk_bytes = chunk_bytes;
+      lg.chunk_bytes_per_step = chunk_bytes ? 2 * chunk_bytes : 0;
+      DetCountResult r = RunDeterministicCount(lg, single);
+      ASSERT_TRUE(r.root);
+      EXPECT_EQ(r.digest, ref.digest)
+          << "round " << round << " strategy " << StrategyName(cfg.strategy)
+          << " chunk_bytes " << chunk_bytes;
+      EXPECT_EQ(r.completed_batches, ref.completed_batches);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(tmpl, ec);
 }
 
 // The same digest equality must hold when the chunked run is distributed:

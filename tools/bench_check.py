@@ -34,6 +34,15 @@ Three modes, combinable:
       absorb scheduler jitter on busy CI runners, not a real regression
       (a regression flips the sign by far more than the floor).
 
+  --rss-bound FILE
+      Spill gate on a fig-25 report (megabench --fig=25): the log-state
+      variant's peak RSS (merged over every process) must sit at or under
+      the run's configured rss_cap_bytes — the whole point of spilling —
+      while the in-memory map-state baseline must exceed the cap (it
+      exists to prove the cap actually bites at this sizing), and the
+      deterministic map-vs-log digest comparison embedded in the report
+      must have matched byte-for-byte.
+
   --recovery FILE
       Fault-drill gate on a fig-23 report (megabench --fig=23): the
       surviving process must have aborted cleanly (PeerDownError, not a
@@ -160,6 +169,49 @@ def check_max_latency(path: str, margin: float, floor_ms: float) -> None:
     )
     if chunk_ms > bound:
         sys.exit(1)
+
+
+def check_rss_bound(path: str) -> None:
+    """Gate a fig-25 spill-drill report: the log-state variant stays under
+    the RSS cap the in-memory baseline blows through, and the backends
+    agree byte-for-byte on the deterministic digest."""
+    with open(path) as f:
+        report = json.load(f)
+    cap = int(report.get("config", {}).get("rss_cap_bytes", 0))
+    if cap <= 0:
+        fail(f"{path}: report carries no rss_cap_bytes")
+    variants = {v.get("label"): v for v in report.get("variants", [])}
+    for label in ("map-state", "log-state"):
+        if label not in variants:
+            fail(f"{path}: missing variant {label}")
+        v = variants[label]
+        for key in ("peak_rss_bytes", "rss", "migrations", "timeline"):
+            if key not in v:
+                fail(f"{path}: variant {label} lacks {key}")
+        if not v["rss"]:
+            fail(f"{path}: variant {label} sampled no RSS")
+        if not v["migrations"]:
+            fail(f"{path}: variant {label} observed no migration window")
+
+    log_peak = int(variants["log-state"]["peak_rss_bytes"])
+    map_peak = int(variants["map-state"]["peak_rss_bytes"])
+    if not variants["log-state"].get("under_rss_cap") or log_peak > cap:
+        fail(
+            f"{path}: log-state peaked at {log_peak} bytes, over the "
+            f"{cap}-byte cap — the spill backend did not bound memory"
+        )
+    if map_peak <= cap:
+        fail(
+            f"{path}: map-state baseline peaked at {map_peak} bytes, "
+            f"under the {cap}-byte cap — the sizing proves nothing; "
+            f"raise --pad/--domain or lower --rss-cap-bytes"
+        )
+    if not report.get("digest_match"):
+        fail(f"{path}: map-vs-log deterministic digests diverged")
+    print(
+        f"bench_check: OK: {path}: log-state peak rss {log_peak} <= cap "
+        f"{cap} (map-state baseline {map_peak}), digests byte-identical"
+    )
 
 
 def check_recovery(path: str) -> None:
@@ -291,6 +343,8 @@ def main() -> None:
     ap.add_argument("--max-latency-floor-ms", type=float, default=15.0,
                     help="absolute noise headroom added to the bound "
                          "(default 15 ms)")
+    ap.add_argument("--rss-bound",
+                    help="fig-25 spill-to-disk report to gate")
     ap.add_argument("--recovery",
                     help="fig-23 kill-one-process fault-drill report to gate")
     ap.add_argument("--adaptive",
@@ -305,14 +359,17 @@ def main() -> None:
     args = ap.parse_args()
 
     if (not args.report and not args.steady and not args.max_latency
-            and not args.recovery and not args.adaptive):
+            and not args.recovery and not args.adaptive
+            and not args.rss_bound):
         ap.error("nothing to check: pass --report, --steady, --max-latency, "
-                 "--recovery and/or --adaptive")
+                 "--recovery, --adaptive and/or --rss-bound")
     for path in args.report:
         check_report(path)
     if args.max_latency:
         check_max_latency(args.max_latency, args.max_latency_margin,
                           args.max_latency_floor_ms)
+    if args.rss_bound:
+        check_rss_bound(args.rss_bound)
     if args.recovery:
         check_recovery(args.recovery)
     if args.adaptive:
